@@ -1,0 +1,109 @@
+// Command svmbench regenerates the paper's evaluation: every table and
+// figure of "Performance Evaluation of Two Home-Based Lazy Release
+// Consistency Protocols for Shared Virtual Memory Systems" (OSDI 1996).
+//
+// Usage:
+//
+//	svmbench -all -size paper          # the full reproduction (minutes)
+//	svmbench -table 2 -size small      # one table, quickly
+//	svmbench -fig 3
+//	svmbench -sor0 -ablations
+//
+// Runs are memoized, so -all shares the underlying sweep across tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/bench"
+)
+
+func main() {
+	var (
+		size      = flag.String("size", "small", "problem size: test, small, paper")
+		table     = flag.Int("table", 0, "regenerate one table (1-6)")
+		fig       = flag.Int("fig", 0, "regenerate one figure (3 or 4)")
+		sor0      = flag.Bool("sor0", false, "run the §4.8 zero-initialized SOR experiment")
+		ablations = flag.Bool("ablations", false, "run the ablation suite")
+		all       = flag.Bool("all", false, "regenerate everything")
+		procsFlag = flag.String("procs", "8,32,64", "machine sizes")
+		page      = flag.Int("page", 8192, "page size in bytes")
+		quiet     = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	r := bench.NewRunner(apps.Size(*size))
+	r.PageBytes = *page
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+	var procs []int
+	for _, s := range strings.Split(*procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			fmt.Fprintf(os.Stderr, "bad -procs entry %q\n", s)
+			os.Exit(2)
+		}
+		procs = append(procs, p)
+	}
+	r.Procs = procs
+
+	out := os.Stdout
+	any := false
+	section := func() {
+		if any {
+			fmt.Fprintln(out)
+		}
+		any = true
+	}
+
+	if *all || *table == 1 {
+		section()
+		r.Table1(out)
+	}
+	if *all || *table == 2 {
+		section()
+		r.Table2(out)
+	}
+	if *all || *table == 3 {
+		section()
+		bench.Table3(out, *page)
+	}
+	if *all || *table == 4 {
+		section()
+		r.Table4(out)
+	}
+	if *all || *table == 5 {
+		section()
+		r.Table5(out)
+	}
+	if *all || *table == 6 {
+		section()
+		r.Table6(out)
+	}
+	if *all || *fig == 3 {
+		section()
+		r.Fig3(out)
+	}
+	if *all || *fig == 4 {
+		section()
+		r.Fig4(out)
+	}
+	if *all || *sor0 {
+		section()
+		r.SORZero(out)
+	}
+	if *all || *ablations {
+		section()
+		r.Ablations(out)
+	}
+	if !any {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -fig N, -sor0, or -ablations")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,93 @@
+// Command svmrun executes one benchmark application under one SVM
+// protocol and prints its statistics: simulated execution time, speedup
+// over sequential, the per-node time breakdown, traffic, and memory use.
+//
+// Usage:
+//
+//	svmrun -app water-nsq -proto hlrc -procs 32 -size small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"gosvm"
+	"gosvm/internal/apps"
+	"gosvm/internal/stats"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "sor", "application: lu, sor, sor-zero, water-nsq, water-sp, raytrace, fft")
+		proto   = flag.String("proto", gosvm.HLRC, "protocol: lrc, olrc, hlrc, ohlrc, aurc")
+		procs   = flag.Int("procs", 8, "number of nodes")
+		size    = flag.String("size", "small", "problem size: test, small, paper")
+		page    = flag.Int("page", 8192, "page size in bytes")
+		gcThr   = flag.Int64("gc-threshold", 8<<20, "homeless GC trigger, bytes of protocol memory per node")
+		noSeq   = flag.Bool("noseq", false, "skip the sequential baseline run")
+	)
+	flag.Parse()
+
+	mk := func() gosvm.App {
+		a, err := apps.New(*appName, apps.Size(*size))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return a
+	}
+
+	opts := gosvm.Options{
+		Protocol:    *proto,
+		NumProcs:    *procs,
+		PageBytes:   *page,
+		GCThreshold: *gcThr,
+	}
+	res, err := gosvm.Run(opts, mk())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s / %s / %d nodes / %s problem\n", *appName, *proto, *procs, *size)
+	fmt.Printf("parallel time: %.2f s (simulated)\n", res.Stats.Elapsed.Micros()/1e6)
+	if !*noSeq {
+		seq, err := gosvm.Sequential(mk(), *page)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("sequential:    %.2f s (simulated)\n", seq.Stats.Elapsed.Micros()/1e6)
+		fmt.Printf("speedup:       %.2f\n", float64(seq.Stats.Elapsed)/float64(res.Stats.Elapsed))
+	}
+
+	avg := res.Stats.AvgNode()
+	fmt.Println("\naverage per-node time breakdown:")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		fmt.Fprintf(tw, "  %v\t%8.2f s\n", c, avg.Time[c].Micros()/1e6)
+	}
+	tw.Flush()
+
+	fmt.Println("\nper-node operation counts (average):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  read misses\t%d\n", avg.Counts.ReadMisses)
+	fmt.Fprintf(tw, "  pages fetched\t%d\n", avg.Counts.PagesFetched)
+	fmt.Fprintf(tw, "  diffs created\t%d\n", avg.Counts.DiffsCreated)
+	fmt.Fprintf(tw, "  diffs applied\t%d\n", avg.Counts.DiffsApplied)
+	fmt.Fprintf(tw, "  lock acquires\t%d\n", avg.Counts.LockAcquires)
+	fmt.Fprintf(tw, "  barriers\t%d\n", avg.Counts.Barriers)
+	fmt.Fprintf(tw, "  garbage collections\t%d\n", avg.Counts.GCs)
+	tw.Flush()
+
+	fmt.Println("\ncommunication and memory:")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  messages\t%d\n", res.Stats.TotalMsgs())
+	fmt.Fprintf(tw, "  update traffic\t%.2f MB\n", float64(res.Stats.TotalBytes(stats.ClassData))/(1<<20))
+	fmt.Fprintf(tw, "  protocol traffic\t%.2f MB\n", float64(res.Stats.TotalBytes(stats.ClassProtocol))/(1<<20))
+	fmt.Fprintf(tw, "  peak protocol memory/node\t%.2f MB\n", float64(res.Stats.PeakProtoMem())/(1<<20))
+	fmt.Fprintf(tw, "  application memory/node\t%.2f MB\n", float64(res.Stats.TotalAppMem())/float64(*procs)/(1<<20))
+	tw.Flush()
+}

@@ -1,0 +1,3 @@
+module gosvm
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package gosvm is a shared virtual memory (SVM) system implementing the
+// four lazy release consistency protocols of Zhou, Iftode & Li,
+// "Performance Evaluation of Two Home-Based Lazy Release Consistency
+// Protocols for Shared Virtual Memory Systems" (OSDI 1996): standard
+// homeless LRC, Home-based LRC (HLRC), and their overlapped variants OLRC
+// and OHLRC that offload protocol work onto a per-node communication
+// co-processor.
+//
+// The protocols run on a deterministic discrete-event model of the
+// paper's hardware (a 64-node Intel Paragon): page faults, twins, diffs,
+// vector timestamps, lock and barrier management, message latency and
+// bandwidth, and the dominant receive-interrupt cost are all simulated
+// with the paper's measured constants, while shared data is real — every
+// program computes its actual result through the coherence protocol, so
+// runs are verifiable against sequential execution.
+//
+// # Programming model
+//
+// Applications implement the App interface (the Splash-2 model: one
+// process initializes, all processes compute) and access shared memory
+// through a Ctx: Load/Store/ReadRange/WriteRange for data,
+// Lock/Unlock/Barrier for synchronization, Compute to charge modeled
+// computation time. See examples/quickstart for a complete program.
+package gosvm
+
+import (
+	"gosvm/internal/core"
+	"gosvm/internal/mem"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+	"gosvm/internal/trace"
+)
+
+// Protocol names.
+const (
+	// Seq runs the application sequentially with no coherence protocol:
+	// the baseline for speedups.
+	Seq = core.ProtoSeq
+	// LRC is the standard homeless lazy release consistency protocol
+	// (TreadMarks-style).
+	LRC = core.ProtoLRC
+	// OLRC is LRC with diff creation and remote request service
+	// overlapped on the communication co-processor.
+	OLRC = core.ProtoOLRC
+	// HLRC is the paper's home-based LRC: updates flow as diffs to a
+	// per-page home and whole pages are fetched from it.
+	HLRC = core.ProtoHLRC
+	// OHLRC is HLRC with diff creation, application, and page service
+	// overlapped on the communication co-processors.
+	OHLRC = core.ProtoOHLRC
+	// AURC emulates the hardware-assisted Automatic Update Release
+	// Consistency protocol HLRC was derived from: free update
+	// propagation, write-through traffic proportional to store count.
+	AURC = core.ProtoAURC
+)
+
+// Protocols lists the four SVM protocols in the paper's order.
+var Protocols = core.Protocols
+
+// Re-exported building blocks. The aliases make the internal packages'
+// types part of the public API without duplicating them.
+type (
+	// Options configures a run: protocol, machine size, page size, cost
+	// model, and protocol tuning knobs.
+	Options = core.Options
+	// App is a Splash-2-style application.
+	App = core.App
+	// Ctx is the per-processor shared-memory programming interface.
+	Ctx = core.Ctx
+	// Setup is the allocation phase passed to App.Setup.
+	Setup = core.Setup
+	// Init is the initialization phase passed to App.Init.
+	Init = core.Init
+	// Result carries the gathered output data and run statistics.
+	Result = core.Result
+	// Addr is a word address in the shared address space.
+	Addr = mem.Addr
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+	// Costs is the machine cost model (the paper's Table 3).
+	Costs = paragon.Costs
+	// RunStats aggregates per-node statistics for a run.
+	RunStats = stats.Run
+	// NodeStats holds one node's time breakdown, counters, traffic, and
+	// memory accounting.
+	NodeStats = stats.Node
+	// TraceLog is the protocol event log captured when
+	// Options.TraceLimit is set (see Result.Trace).
+	TraceLog = trace.Log
+	// TraceEvent is one protocol event in a TraceLog.
+	TraceEvent = trace.Event
+)
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Time breakdown categories (indexes into NodeStats.Time), matching the
+// stacked bars of the paper's Figure 3.
+const (
+	CatCompute  = stats.CatCompute
+	CatData     = stats.CatData
+	CatGC       = stats.CatGC
+	CatLock     = stats.CatLock
+	CatBarrier  = stats.CatBarrier
+	CatProtocol = stats.CatProtocol
+)
+
+// Traffic classes (indexes into NodeStats.Bytes and MsgsOut).
+const (
+	ClassData     = stats.ClassData
+	ClassProtocol = stats.ClassProtocol
+)
+
+// DefaultCosts returns the reconstructed Paragon cost model.
+func DefaultCosts() Costs { return paragon.DefaultCosts() }
+
+// Run executes app under opts and returns its results and statistics.
+func Run(opts Options, app App) (*Result, error) {
+	return core.Run(opts, app, false)
+}
+
+// RunWithPhases is Run with per-barrier-episode statistics capture
+// (the instrumentation behind the paper's Figure 4).
+func RunWithPhases(opts Options, app App) (*Result, error) {
+	return core.Run(opts, app, true)
+}
+
+// Sequential measures the sequential execution of app: the speedup
+// baseline. The page size only affects layout, not timing.
+func Sequential(app App, pageBytes int) (*Result, error) {
+	return core.Run(Options{Protocol: Seq, NumProcs: 1, PageBytes: pageBytes}, app, false)
+}
+
+// Speedup runs app sequentially and in parallel and returns the ratio of
+// simulated execution times, along with both results.
+func Speedup(opts Options, mk func() App) (float64, *Result, *Result, error) {
+	seq, err := Sequential(mk(), opts.PageBytes)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	par, err := Run(opts, mk())
+	if err != nil {
+		return 0, seq, nil, err
+	}
+	return float64(seq.Stats.Elapsed) / float64(par.Stats.Elapsed), seq, par, nil
+}

@@ -1,0 +1,182 @@
+package apps
+
+import (
+	"math"
+
+	"gosvm/internal/core"
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+)
+
+// FFT is the Splash-2 one-dimensional radix-sqrt(n) FFT, included as an
+// extension beyond the paper's five programs: its all-to-all matrix
+// transposes are the communication pattern the paper's suite lacks. The
+// n complex points are arranged as an m x m matrix (m = sqrt(n)) of
+// interleaved re/im words, rows distributed in contiguous bands; each of
+// the three transpose phases moves every off-diagonal block between every
+// pair of processors.
+type FFT struct {
+	LogN   int      // total points = 1 << LogN (LogN even)
+	FlopNs sim.Time // per complex butterfly
+	// Impulse initializes the input to a unit impulse at index 0, whose
+	// transform is flat — an ordering-independent correctness check.
+	Impulse bool
+
+	n, m int
+	p    int
+	a, b mem.Addr // two m x m complex matrices (2 words per element)
+}
+
+// NewFFT returns the kernel; sizes chosen to exercise the all-to-all
+// pattern at the same communication-to-computation regime as the paper's
+// kernels.
+func NewFFT(size Size) *FFT {
+	switch size {
+	case SizePaper:
+		return &FFT{LogN: 20, FlopNs: 4500} // 1M points
+	case SizeSmall:
+		return &FFT{LogN: 16, FlopNs: 4500}
+	default:
+		return &FFT{LogN: 8, FlopNs: 4500}
+	}
+}
+
+func (a *FFT) Name() string { return "fft" }
+
+func (a *FFT) Setup(s *core.Setup) {
+	a.n = 1 << a.LogN
+	a.m = 1 << (a.LogN / 2)
+	a.p = s.P
+	a.a = s.Alloc(2 * a.n)
+	a.b = s.Alloc(2 * a.n)
+}
+
+func (a *FFT) Init(w *core.Init) {
+	rng := newLCG(20021)
+	for i := 0; i < a.n; i++ {
+		re, im := rng.float()-0.5, rng.float()-0.5
+		if a.Impulse {
+			re, im = 0, 0
+			if i == 0 {
+				re = 1
+			}
+		}
+		w.Store(a.a+mem.Addr(2*i), re)
+		w.Store(a.a+mem.Addr(2*i+1), im)
+		w.Store(a.b+mem.Addr(2*i), 0)
+		w.Store(a.b+mem.Addr(2*i+1), 0)
+	}
+	for id := 0; id < a.p; id++ {
+		lo, hi := chunk(a.m, a.p, id)
+		if hi > lo {
+			w.SetHome(a.a+mem.Addr(2*lo*a.m), 2*(hi-lo)*a.m, id)
+			w.SetHome(a.b+mem.Addr(2*lo*a.m), 2*(hi-lo)*a.m, id)
+		}
+	}
+}
+
+// fftRow performs an in-place iterative complex FFT on row (length m,
+// interleaved re/im).
+func fftRow(row []float64, m int) {
+	// Bit reversal.
+	for i, j := 0, 0; i < m; i++ {
+		if i < j {
+			row[2*i], row[2*j] = row[2*j], row[2*i]
+			row[2*i+1], row[2*j+1] = row[2*j+1], row[2*i+1]
+		}
+		mask := m >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+	for size := 2; size <= m; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < m; start += size {
+			for k := 0; k < half; k++ {
+				wr, wi := math.Cos(step*float64(k)), math.Sin(step*float64(k))
+				i1, i2 := start+k, start+k+half
+				xr, xi := row[2*i2]*wr-row[2*i2+1]*wi, row[2*i2]*wi+row[2*i2+1]*wr
+				row[2*i2], row[2*i2+1] = row[2*i1]-xr, row[2*i1+1]-xi
+				row[2*i1], row[2*i1+1] = row[2*i1]+xr, row[2*i1+1]+xi
+			}
+		}
+	}
+}
+
+// rowAddr returns the address of row i of matrix base.
+func (a *FFT) rowAddr(base mem.Addr, i int) mem.Addr {
+	return base + mem.Addr(2*i*a.m)
+}
+
+// transpose writes the transpose of src into dst, each proc producing its
+// own destination rows by reading a column strip of every source row —
+// the all-to-all communication phase.
+func (a *FFT) transpose(c *core.Ctx, dst, src mem.Addr, lo, hi int) {
+	band := make([]float64, (hi-lo)*2*a.m)
+	srcRow := make([]float64, 2*a.m)
+	for j := 0; j < a.m; j++ {
+		c.ReadRange(a.rowAddr(src, j), srcRow)
+		for i := lo; i < hi; i++ {
+			band[(i-lo)*2*a.m+2*j] = srcRow[2*i]
+			band[(i-lo)*2*a.m+2*j+1] = srcRow[2*i+1]
+		}
+	}
+	for i := lo; i < hi; i++ {
+		c.WriteRange(a.rowAddr(dst, i), band[(i-lo)*2*a.m:(i-lo+1)*2*a.m])
+	}
+	c.Compute(sim.Time(hi-lo) * sim.Time(a.m) * 20)
+}
+
+// twiddle applies the inter-dimension twiddle factors to rows [lo,hi).
+func (a *FFT) twiddle(c *core.Ctx, base mem.Addr, lo, hi int) {
+	row := make([]float64, 2*a.m)
+	for i := lo; i < hi; i++ {
+		c.ReadRange(a.rowAddr(base, i), row)
+		for j := 0; j < a.m; j++ {
+			ang := -2 * math.Pi * float64(i) * float64(j) / float64(a.n)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			re, im := row[2*j], row[2*j+1]
+			row[2*j] = re*wr - im*wi
+			row[2*j+1] = re*wi + im*wr
+		}
+		c.WriteRange(a.rowAddr(base, i), row)
+	}
+	c.Compute(sim.Time(hi-lo) * sim.Time(a.m) * sim.Time(6*25))
+}
+
+func (a *FFT) Worker(c *core.Ctx, id int) {
+	lo, hi := chunk(a.m, a.p, id)
+	row := make([]float64, 2*a.m)
+	logM := a.LogN / 2
+	fftBand := func(base mem.Addr) {
+		for i := lo; i < hi; i++ {
+			c.ReadRange(a.rowAddr(base, i), row)
+			fftRow(row, a.m)
+			c.WriteRange(a.rowAddr(base, i), row)
+		}
+		c.Compute(sim.Time(hi-lo) * sim.Time(a.m*logM/2) * a.FlopNs)
+	}
+
+	// Six-step FFT: transpose, FFT rows, twiddle, transpose, FFT rows,
+	// transpose back.
+	a.transpose(c, a.b, a.a, lo, hi)
+	c.Barrier(0)
+	fftBand(a.b)
+	a.twiddle(c, a.b, lo, hi)
+	c.Barrier(1)
+	a.transpose(c, a.a, a.b, lo, hi)
+	c.Barrier(2)
+	fftBand(a.a)
+	c.Barrier(3)
+	a.transpose(c, a.b, a.a, lo, hi)
+	c.Barrier(4)
+}
+
+func (a *FFT) Gather(c *core.Ctx) []float64 {
+	out := make([]float64, 2*a.n)
+	c.ReadRange(a.b, out)
+	return out
+}

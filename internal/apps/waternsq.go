@@ -1,0 +1,196 @@
+package apps
+
+import (
+	"math"
+
+	"gosvm/internal/core"
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+)
+
+// molWords is the shared record per molecule: position, velocity, force.
+const molWords = 9
+
+// WaterNsq simulates a system of water molecules in liquid state with the
+// Splash-2 Water-Nsquared structure: an O(n^2) brute-force pair
+// computation with a cutoff radius. Molecules live in one contiguous
+// array partitioned into contiguous pieces of n/p molecules. In each
+// step, processor p computes interactions between its molecules and the
+// following n/2 molecules (cyclic), accumulating forces locally and
+// flushing them into each touched partition under that partition's lock —
+// the paper's "per-partition locks to protect these updates" pattern.
+type WaterNsq struct {
+	N      int // molecules
+	Steps  int
+	PairNs sim.Time // per pair evaluation
+	UpdNs  sim.Time // per molecule kinetics update
+	Cutoff float64
+	Box    float64
+
+	p    int
+	base mem.Addr
+}
+
+// NewWaterNsq returns the application; SizePaper is the paper's 4096
+// molecules, calibrated to the ~1130s sequential time of Table 1.
+func NewWaterNsq(size Size) *WaterNsq {
+	w := &WaterNsq{PairNs: 44800, UpdNs: 2000, Cutoff: 0.35, Box: 1.0}
+	switch size {
+	case SizePaper:
+		w.N, w.Steps = 4096, 3
+	case SizeSmall:
+		w.N, w.Steps = 512, 3
+	default:
+		w.N, w.Steps = 48, 2
+	}
+	return w
+}
+
+func (a *WaterNsq) Name() string { return "water-nsq" }
+
+func (a *WaterNsq) molAddr(i int) mem.Addr { return a.base + mem.Addr(i*molWords) }
+
+// part returns the partition (owning processor) of molecule i, inverting
+// the contiguous chunk() split.
+func (a *WaterNsq) part(i int) int {
+	per := a.N / a.p
+	rem := a.N % a.p
+	cut := rem * (per + 1)
+	if i < cut {
+		return i / (per + 1)
+	}
+	return rem + (i-cut)/per
+}
+
+func (a *WaterNsq) Setup(s *core.Setup) {
+	a.p = s.P
+	// Molecules are allocated contiguously (unaligned), so partitions
+	// share pages at their boundaries — the false sharing the paper
+	// attributes to this application.
+	a.base = s.AllocUnaligned(a.N * molWords)
+}
+
+func (a *WaterNsq) Init(w *core.Init) {
+	rng := newLCG(4242)
+	for i := 0; i < a.N; i++ {
+		base := a.molAddr(i)
+		for d := 0; d < 3; d++ {
+			w.Store(base+mem.Addr(d), rng.float()*a.Box) // position
+			w.Store(base+mem.Addr(3+d), 0)               // velocity
+			w.Store(base+mem.Addr(6+d), 0)               // force
+		}
+	}
+	for id := 0; id < a.p; id++ {
+		lo, hi := chunk(a.N, a.p, id)
+		if hi > lo {
+			w.SetHome(a.molAddr(lo), (hi-lo)*molWords, id)
+		}
+	}
+}
+
+func (a *WaterNsq) Worker(c *core.Ctx, id int) {
+	lo, hi := chunk(a.N, a.p, id)
+	half := a.N / 2
+	bar := 0
+	// Local force accumulation for the whole system (sparse use).
+	acc := make([]float64, a.N*3)
+	touched := make([]bool, a.p)
+	pos := make([]float64, 3)
+	other := make([]float64, 3)
+
+	for step := 0; step < a.Steps; step++ {
+		// Phase 1: zero own forces.
+		for i := lo; i < hi; i++ {
+			c.WriteRange(a.molAddr(i)+6, []float64{0, 0, 0})
+		}
+		c.Compute(a.UpdNs * sim.Time(hi-lo) / 4)
+		c.Barrier(bar)
+		bar++
+
+		// Phase 2: pair forces — my molecules against the following n/2.
+		for i := range acc {
+			acc[i] = 0
+		}
+		for i := range touched {
+			touched[i] = false
+		}
+		for i := lo; i < hi; i++ {
+			c.ReadRange(a.molAddr(i), pos)
+			pairs := 0
+			for dj := 1; dj <= half; dj++ {
+				j := (i + dj) % a.N
+				if dj == half && a.N%2 == 0 && i > j {
+					continue // the antipodal pair is computed once, by min(i,j)
+				}
+				c.ReadRange(a.molAddr(j), other)
+				pairs++
+				dx := pos[0] - other[0]
+				dy := pos[1] - other[1]
+				dz := pos[2] - other[2]
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > a.Cutoff*a.Cutoff {
+					continue
+				}
+				f := 1.0 / (r2 + 1e-3)
+				inv := f / math.Sqrt(r2+1e-9)
+				fx, fy, fz := dx*inv, dy*inv, dz*inv
+				acc[i*3] += fx
+				acc[i*3+1] += fy
+				acc[i*3+2] += fz
+				acc[j*3] -= fx
+				acc[j*3+1] -= fy
+				acc[j*3+2] -= fz
+				touched[a.part(j)] = true
+			}
+			touched[a.part(i)] = true
+			c.Compute(a.PairNs * sim.Time(pairs))
+		}
+		// Flush accumulated forces into each touched partition under its
+		// per-partition lock.
+		f3 := make([]float64, 3)
+		for part := 0; part < a.p; part++ {
+			if !touched[part] {
+				continue
+			}
+			plo, phi := chunk(a.N, a.p, part)
+			c.Lock(100 + part)
+			for j := plo; j < phi; j++ {
+				ax, ay, az := acc[j*3], acc[j*3+1], acc[j*3+2]
+				if ax == 0 && ay == 0 && az == 0 {
+					continue
+				}
+				c.ReadRange(a.molAddr(j)+6, f3)
+				f3[0] += ax
+				f3[1] += ay
+				f3[2] += az
+				c.WriteRange(a.molAddr(j)+6, f3)
+			}
+			c.Compute(a.UpdNs * sim.Time(phi-plo) / 2)
+			c.Unlock(100 + part)
+		}
+		c.Barrier(bar)
+		bar++
+
+		// Phase 3: kinetics on own molecules.
+		mol := make([]float64, molWords)
+		const dt = 1e-4
+		for i := lo; i < hi; i++ {
+			c.ReadRange(a.molAddr(i), mol)
+			for d := 0; d < 3; d++ {
+				mol[3+d] += mol[6+d] * dt
+				mol[d] += mol[3+d] * dt
+			}
+			c.WriteRange(a.molAddr(i), mol)
+		}
+		c.Compute(a.UpdNs * sim.Time(hi-lo))
+		c.Barrier(bar)
+		bar++
+	}
+	c.Barrier(bar)
+}
+
+func (a *WaterNsq) Gather(c *core.Ctx) []float64 {
+	out := make([]float64, a.N*molWords)
+	c.ReadRange(a.base, out)
+	return out
+}

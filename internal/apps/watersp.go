@@ -1,0 +1,353 @@
+package apps
+
+import (
+	"math"
+	"sort"
+
+	"gosvm/internal/core"
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+)
+
+// WaterSp solves the same molecular dynamics problem as Water-Nsquared
+// but with the Splash-2 spatial-directory structure: the 3-D box is
+// divided into cells at least one cutoff radius wide, each cell holds a
+// linked list of its molecules (head and next pointers live in shared
+// memory), and each processor owns a contiguous cubical partition of
+// cells. A processor reads data from processors owning cells on its
+// partition boundary; molecules migrate slowly between cells, making the
+// application irregular — the paper's characterization.
+type WaterSp struct {
+	N      int // molecules
+	G      int // cells per axis
+	Steps  int
+	PairNs sim.Time
+	UpdNs  sim.Time
+	Box    float64
+
+	p          int
+	px, py, pz int
+	mols       mem.Addr // N x molWords
+	heads      mem.Addr // G^3 words, -1 = empty
+	nexts      mem.Addr // N words
+}
+
+// NewWaterSp returns the application; SizePaper is the paper's 4096
+// molecules, calibrated to the ~1080s sequential time of Table 1.
+func NewWaterSp(size Size) *WaterSp {
+	w := &WaterSp{PairNs: 600000, UpdNs: 2000, Box: 1.0}
+	switch size {
+	case SizePaper:
+		w.N, w.G, w.Steps = 4096, 8, 4
+	case SizeSmall:
+		w.N, w.G, w.Steps = 512, 4, 3
+	default:
+		w.N, w.G, w.Steps = 48, 2, 2
+	}
+	return w
+}
+
+func (a *WaterSp) Name() string { return "water-sp" }
+
+func (a *WaterSp) molAddr(i int) mem.Addr  { return a.mols + mem.Addr(i*molWords) }
+func (a *WaterSp) cellIdx(x, y, z int) int { return (x*a.G+y)*a.G + z }
+
+// cellOf maps a position to its cell coordinates (clamped to the box).
+func (a *WaterSp) cellOf(x, y, z float64) (int, int, int) {
+	cl := func(v float64) int {
+		c := int(v / a.Box * float64(a.G))
+		if c < 0 {
+			c = 0
+		}
+		if c >= a.G {
+			c = a.G - 1
+		}
+		return c
+	}
+	return cl(x), cl(y), cl(z)
+}
+
+// cellOwner maps a cell to the processor owning its cubical partition.
+func (a *WaterSp) cellOwner(x, y, z int) int {
+	ix := x * a.px / a.G
+	iy := y * a.py / a.G
+	iz := z * a.pz / a.G
+	return (ix*a.py+iy)*a.pz + iz
+}
+
+// ownerOfCell returns the owner of a flat cell index.
+func (a *WaterSp) ownerOfCell(cell int) int {
+	z := cell % a.G
+	y := (cell / a.G) % a.G
+	x := cell / (a.G * a.G)
+	return a.cellOwner(x, y, z)
+}
+
+func (a *WaterSp) Setup(s *core.Setup) {
+	a.p = s.P
+	a.px, a.py, a.pz = grid3(s.P)
+	a.mols = s.AllocUnaligned(a.N * molWords)
+	a.heads = s.Alloc(a.G * a.G * a.G)
+	a.nexts = s.Alloc(a.N)
+}
+
+func (a *WaterSp) Init(w *core.Init) {
+	rng := newLCG(98765)
+	for cell := 0; cell < a.G*a.G*a.G; cell++ {
+		w.StoreI(a.heads+mem.Addr(cell), -1)
+	}
+	for i := 0; i < a.N; i++ {
+		base := a.molAddr(i)
+		var pos [3]float64
+		for d := 0; d < 3; d++ {
+			pos[d] = rng.float() * a.Box
+			w.Store(base+mem.Addr(d), pos[d])
+			w.Store(base+mem.Addr(3+d), 0)
+			w.Store(base+mem.Addr(6+d), 0)
+		}
+		cx, cy, cz := a.cellOf(pos[0], pos[1], pos[2])
+		cell := a.cellIdx(cx, cy, cz)
+		w.StoreI(a.nexts+mem.Addr(i), int64(w.Load(a.heads+mem.Addr(cell))))
+		w.StoreI(a.heads+mem.Addr(cell), int64(i))
+		w.SetHome(base, molWords, a.cellOwner(cx, cy, cz))
+	}
+	for x := 0; x < a.G; x++ {
+		for y := 0; y < a.G; y++ {
+			for z := 0; z < a.G; z++ {
+				w.SetHome(a.heads+mem.Addr(a.cellIdx(x, y, z)), 1, a.cellOwner(x, y, z))
+			}
+		}
+	}
+}
+
+// listOf collects the molecule ids in a cell.
+func (a *WaterSp) listOf(c *core.Ctx, cell int, buf []int) []int {
+	buf = buf[:0]
+	m := c.LoadI(a.heads + mem.Addr(cell))
+	for m >= 0 {
+		buf = append(buf, int(m))
+		m = c.LoadI(a.nexts + mem.Addr(m))
+	}
+	return buf
+}
+
+// ownCells returns this processor's cells.
+func (a *WaterSp) ownCells(id int) [][3]int {
+	var cells [][3]int
+	for x := 0; x < a.G; x++ {
+		for y := 0; y < a.G; y++ {
+			for z := 0; z < a.G; z++ {
+				if a.cellOwner(x, y, z) == id {
+					cells = append(cells, [3]int{x, y, z})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+type molMove struct {
+	m        int
+	from, to int // cell indexes
+}
+
+func (a *WaterSp) Worker(c *core.Ctx, id int) {
+	cells := a.ownCells(id)
+	cutoff := a.Box / float64(a.G)
+	bar := 0
+	acc := make([]float64, a.N*3)
+	accOwner := make([]int16, a.N) // owner of each touched molecule's cell
+	var touchedMols []int
+	mine := make([]int, 0, 64)
+	theirs := make([]int, 0, 64)
+	pos := make([]float64, 3)
+	other := make([]float64, 3)
+	f3 := make([]float64, 3)
+	mol := make([]float64, molWords)
+
+	touch := func(m, owner int) {
+		if acc[m*3] == 0 && acc[m*3+1] == 0 && acc[m*3+2] == 0 && accOwner[m] < 0 {
+			touchedMols = append(touchedMols, m)
+		}
+		accOwner[m] = int16(owner)
+	}
+
+	for step := 0; step < a.Steps; step++ {
+		// Phase 1: zero forces of molecules in own cells.
+		for _, cc := range cells {
+			mine = a.listOf(c, a.cellIdx(cc[0], cc[1], cc[2]), mine)
+			for _, m := range mine {
+				c.WriteRange(a.molAddr(m)+6, []float64{0, 0, 0})
+			}
+		}
+		c.Barrier(bar)
+		bar++
+
+		// Phase 2: pair forces over own cells and their neighbors. The
+		// pair (m, m2) is computed by the cell containing the smaller id.
+		touchedMols = touchedMols[:0]
+		for i := range accOwner {
+			accOwner[i] = -1
+		}
+		for i := range acc {
+			acc[i] = 0
+		}
+		for _, cc := range cells {
+			cellOwnerHere := id
+			mine = a.listOf(c, a.cellIdx(cc[0], cc[1], cc[2]), mine)
+			pairs := 0
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for dz := -1; dz <= 1; dz++ {
+						nx, ny, nz := cc[0]+dx, cc[1]+dy, cc[2]+dz
+						if nx < 0 || ny < 0 || nz < 0 || nx >= a.G || ny >= a.G || nz >= a.G {
+							continue
+						}
+						nOwner := a.cellOwner(nx, ny, nz)
+						theirs = a.listOf(c, a.cellIdx(nx, ny, nz), theirs)
+						for _, m := range mine {
+							c.ReadRange(a.molAddr(m), pos)
+							for _, m2 := range theirs {
+								if m2 <= m {
+									continue
+								}
+								c.ReadRange(a.molAddr(m2), other)
+								pairs++
+								ddx := pos[0] - other[0]
+								ddy := pos[1] - other[1]
+								ddz := pos[2] - other[2]
+								r2 := ddx*ddx + ddy*ddy + ddz*ddz
+								if r2 > cutoff*cutoff {
+									continue
+								}
+								f := 1.0 / (r2 + 1e-3)
+								inv := f / math.Sqrt(r2+1e-9)
+								touch(m, cellOwnerHere)
+								touch(m2, nOwner)
+								acc[m*3] += ddx * inv
+								acc[m*3+1] += ddy * inv
+								acc[m*3+2] += ddz * inv
+								acc[m2*3] -= ddx * inv
+								acc[m2*3+1] -= ddy * inv
+								acc[m2*3+2] -= ddz * inv
+							}
+						}
+					}
+				}
+			}
+			c.Compute(a.PairNs * sim.Time(pairs))
+		}
+		// Flush accumulated forces per owning partition, under its lock,
+		// in ascending owner order.
+		sort.Slice(touchedMols, func(i, j int) bool {
+			oi, oj := accOwner[touchedMols[i]], accOwner[touchedMols[j]]
+			if oi != oj {
+				return oi < oj
+			}
+			return touchedMols[i] < touchedMols[j]
+		})
+		for i := 0; i < len(touchedMols); {
+			owner := int(accOwner[touchedMols[i]])
+			c.Lock(200 + owner)
+			n := 0
+			for ; i < len(touchedMols) && int(accOwner[touchedMols[i]]) == owner; i++ {
+				m := touchedMols[i]
+				c.ReadRange(a.molAddr(m)+6, f3)
+				f3[0] += acc[m*3]
+				f3[1] += acc[m*3+1]
+				f3[2] += acc[m*3+2]
+				c.WriteRange(a.molAddr(m)+6, f3)
+				n++
+			}
+			c.Compute(a.UpdNs * sim.Time(n) / 2)
+			c.Unlock(200 + owner)
+		}
+		c.Barrier(bar)
+		bar++
+
+		// Phase 3a: kinetics for molecules in own cells; record migrations
+		// but defer the list surgery so no processor mutates a list
+		// another is still iterating.
+		var moves []molMove
+		const dt = 5e-3
+		for _, cc := range cells {
+			cell := a.cellIdx(cc[0], cc[1], cc[2])
+			mine = a.listOf(c, cell, mine)
+			for _, m := range mine {
+				c.ReadRange(a.molAddr(m), mol)
+				for d := 0; d < 3; d++ {
+					mol[3+d] += mol[6+d] * dt
+					mol[d] += mol[3+d] * dt
+					if mol[d] < 0 {
+						mol[d] = -mol[d]
+						mol[3+d] = -mol[3+d]
+					}
+					if mol[d] > a.Box {
+						mol[d] = 2*a.Box - mol[d]
+						mol[3+d] = -mol[3+d]
+					}
+				}
+				c.WriteRange(a.molAddr(m), mol)
+				nx, ny, nz := a.cellOf(mol[0], mol[1], mol[2])
+				if newCell := a.cellIdx(nx, ny, nz); newCell != cell {
+					moves = append(moves, molMove{m: m, from: cell, to: newCell})
+				}
+			}
+			c.Compute(a.UpdNs * sim.Time(len(mine)))
+		}
+		c.Barrier(bar)
+		bar++
+
+		// Phase 3b: apply migrations under the owning partitions' locks
+		// (ascending order to avoid deadlock).
+		for _, mv := range moves {
+			a.migrate(c, mv)
+		}
+		c.Barrier(bar)
+		bar++
+	}
+	c.Barrier(bar)
+}
+
+// migrate moves a molecule between cell lists, locking the owning
+// partitions in id order.
+func (a *WaterSp) migrate(c *core.Ctx, mv molMove) {
+	o1 := a.ownerOfCell(mv.from)
+	o2 := a.ownerOfCell(mv.to)
+	lo, hi := o1, o2
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	c.Lock(200 + lo)
+	if hi != lo {
+		c.Lock(200 + hi)
+	}
+	// Unlink from the old list.
+	prev := int64(-1)
+	cur := c.LoadI(a.heads + mem.Addr(mv.from))
+	for cur != int64(mv.m) && cur >= 0 {
+		prev = cur
+		cur = c.LoadI(a.nexts + mem.Addr(cur))
+	}
+	if cur == int64(mv.m) {
+		next := c.LoadI(a.nexts + mem.Addr(mv.m))
+		if prev < 0 {
+			c.StoreI(a.heads+mem.Addr(mv.from), next)
+		} else {
+			c.StoreI(a.nexts+mem.Addr(prev), next)
+		}
+	}
+	// Link into the new list.
+	c.StoreI(a.nexts+mem.Addr(mv.m), c.LoadI(a.heads+mem.Addr(mv.to)))
+	c.StoreI(a.heads+mem.Addr(mv.to), int64(mv.m))
+	if hi != lo {
+		c.Unlock(200 + hi)
+	}
+	c.Unlock(200 + lo)
+}
+
+func (a *WaterSp) Gather(c *core.Ctx) []float64 {
+	out := make([]float64, a.N*molWords)
+	c.ReadRange(a.mols, out)
+	return out
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/core"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// runWith executes one uncached run with custom options.
+func (r *Runner) runWith(app string, opts core.Options) *core.Result {
+	a, err := apps.New(app, r.Size)
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.Run(opts, a, false)
+	if err != nil {
+		panic(fmt.Sprintf("bench: ablation %s/%s: %v", app, opts.Protocol, err))
+	}
+	return res
+}
+
+func (r *Runner) baseOpts(proto string, procs int) core.Options {
+	return core.Options{
+		Protocol:    proto,
+		NumProcs:    procs,
+		PageBytes:   r.PageBytes,
+		GCThreshold: r.GCThreshold,
+	}
+}
+
+// AblationEagerDiff compares lazy vs eager diff creation under LRC.
+func (r *Runner) AblationEagerDiff(w io.Writer, app string, procs int) (lazy, eager sim.Time) {
+	lazy = r.Run(app, core.ProtoLRC, procs).Stats.Elapsed
+	opts := r.baseOpts(core.ProtoLRC, procs)
+	opts.EagerDiff = true
+	eager = r.runWith(app, opts).Stats.Elapsed
+	fmt.Fprintf(w, "Ablation (eager diffs, LRC, %s, %d nodes): lazy %ss, eager %ss\n",
+		app, procs, seconds(lazy), seconds(eager))
+	return lazy, eager
+}
+
+// AblationHomePlacement compares application-directed home placement with
+// blind round-robin under HLRC.
+func (r *Runner) AblationHomePlacement(w io.Writer, app string, procs int) (directed, roundRobin sim.Time) {
+	directed = r.Run(app, core.ProtoHLRC, procs).Stats.Elapsed
+	opts := r.baseOpts(core.ProtoHLRC, procs)
+	opts.HomeRoundRobin = true
+	roundRobin = r.runWith(app, opts).Stats.Elapsed
+	fmt.Fprintf(w, "Ablation (home placement, HLRC, %s, %d nodes): app-directed %ss, round-robin %ss\n",
+		app, procs, seconds(directed), seconds(roundRobin))
+	return directed, roundRobin
+}
+
+// AblationInterruptCost measures the LRC-vs-HLRC gap as the receive
+// interrupt cost shrinks towards modern-network values — the paper's §4.8
+// discussion that faster interrupts narrow the gap.
+func (r *Runner) AblationInterruptCost(w io.Writer, app string, procs int) {
+	fmt.Fprintf(w, "Ablation (interrupt cost, %s, %d nodes):\n", app, procs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Interrupt (us)\tLRC (s)\tHLRC (s)\tHLRC advantage")
+	for _, intr := range []sim.Time{690, 100, 10} {
+		costs := paragon.DefaultCosts()
+		costs.ReceiveInterrupt = intr * sim.Microsecond
+		optsL := r.baseOpts(core.ProtoLRC, procs)
+		optsL.Costs = costs
+		optsH := r.baseOpts(core.ProtoHLRC, procs)
+		optsH.Costs = costs
+		l := r.runWith(app, optsL).Stats.Elapsed
+		h := r.runWith(app, optsH).Stats.Elapsed
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.1f%%\n",
+			intr, seconds(l), seconds(h), (float64(l)/float64(h)-1)*100)
+	}
+	tw.Flush()
+}
+
+// AblationPageSize compares 4KB and 8KB pages under HLRC and LRC.
+func (r *Runner) AblationPageSize(w io.Writer, app string, procs int) {
+	fmt.Fprintf(w, "Ablation (page size, %s, %d nodes):\n", app, procs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Page (B)\tLRC (s)\tHLRC (s)")
+	for _, pb := range []int{4096, 8192} {
+		optsL := r.baseOpts(core.ProtoLRC, procs)
+		optsL.PageBytes = pb
+		optsH := r.baseOpts(core.ProtoHLRC, procs)
+		optsH.PageBytes = pb
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", pb,
+			seconds(r.runWith(app, optsL).Stats.Elapsed),
+			seconds(r.runWith(app, optsH).Stats.Elapsed))
+	}
+	tw.Flush()
+}
+
+// AblationGCThreshold shows the LRC time/memory trade-off of the garbage
+// collection trigger.
+func (r *Runner) AblationGCThreshold(w io.Writer, app string, procs int) {
+	fmt.Fprintf(w, "Ablation (GC threshold, LRC, %s, %d nodes):\n", app, procs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Threshold (MB)\tTime (s)\tGC time (s)\tPeak proto mem (MB)\tGCs")
+	for _, thr := range []int64{1 << 20, 8 << 20, 256 << 20} {
+		opts := r.baseOpts(core.ProtoLRC, procs)
+		opts.GCThreshold = thr
+		res := r.runWith(app, opts)
+		avg := res.Stats.AvgNode()
+		var gcs int64
+		for _, nd := range res.Stats.Nodes {
+			gcs += nd.Counts.GCs
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.2f\t%s\t%d\n",
+			thr>>20, seconds(res.Stats.Elapsed), avg.Time[stats.CatGC].Micros()/1e6,
+			mb(res.Stats.PeakProtoMem()), gcs)
+	}
+	tw.Flush()
+}
+
+// AblationOverlapLocks measures the §4.3 extension: synchronization
+// serviced by the co-processor under OHLRC.
+func (r *Runner) AblationOverlapLocks(w io.Writer, app string, procs int) (base, overlapped sim.Time) {
+	base = r.Run(app, core.ProtoOHLRC, procs).Stats.Elapsed
+	opts := r.baseOpts(core.ProtoOHLRC, procs)
+	opts.OverlapLocks = true
+	overlapped = r.runWith(app, opts).Stats.Elapsed
+	fmt.Fprintf(w, "Ablation (co-processor lock service, OHLRC, %s, %d nodes): compute-serviced %ss, coproc-serviced %ss\n",
+		app, procs, seconds(base), seconds(overlapped))
+	return base, overlapped
+}
+
+// AblationMesh compares the crossbar network model with the link-level
+// 2-D wormhole mesh under HLRC.
+func (r *Runner) AblationMesh(w io.Writer, app string, procs int) (crossbar, meshTime sim.Time) {
+	crossbar = r.Run(app, core.ProtoHLRC, procs).Stats.Elapsed
+	opts := r.baseOpts(core.ProtoHLRC, procs)
+	opts.Mesh = true
+	meshTime = r.runWith(app, opts).Stats.Elapsed
+	fmt.Fprintf(w, "Ablation (network model, HLRC, %s, %d nodes): crossbar %ss, 2-D mesh %ss\n",
+		app, procs, seconds(crossbar), seconds(meshTime))
+	return crossbar, meshTime
+}
+
+// AblationAURC compares the AURC hardware emulation against HLRC and LRC:
+// the comparison that motivated HLRC's design (AURC's update propagation
+// is free but needs hardware; HLRC pays diffing costs in software).
+func (r *Runner) AblationAURC(w io.Writer, app string, procs int) {
+	fmt.Fprintf(w, "Ablation (AURC hardware emulation, %s, %d nodes):\n", app, procs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Protocol\tTime (s)\tUpdate traffic (MB)")
+	for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC, core.ProtoAURC} {
+		var res *core.Result
+		if proto == core.ProtoAURC {
+			res = r.runWith(app, r.baseOpts(proto, procs))
+		} else {
+			res = r.Run(app, proto, procs)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", proto, seconds(res.Stats.Elapsed),
+			mb(res.Stats.TotalBytes(stats.ClassData)))
+	}
+	tw.Flush()
+}
+
+// Ablations runs the full ablation suite on a representative subset.
+func (r *Runner) Ablations(w io.Writer) {
+	procs := r.Procs[len(r.Procs)-1]
+	r.AblationEagerDiff(w, "water-nsq", procs)
+	r.AblationHomePlacement(w, "sor", procs)
+	r.AblationInterruptCost(w, "water-nsq", procs)
+	r.AblationPageSize(w, "water-nsq", procs)
+	r.AblationGCThreshold(w, "water-nsq", procs)
+	r.AblationOverlapLocks(w, "water-nsq", procs)
+	r.AblationAURC(w, "water-nsq", procs)
+	r.AblationMesh(w, "water-nsq", procs)
+}

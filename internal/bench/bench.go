@@ -1,0 +1,104 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section: speedups (Table 2), basic operation costs (Table 3),
+// per-node protocol operation counts (Table 4), communication traffic
+// (Table 5), protocol memory requirements (Table 6), execution time
+// breakdowns (Figure 3), per-processor inter-barrier breakdowns
+// (Figure 4), and the zero-initialized SOR experiment of §4.8.
+//
+// A Runner memoizes simulation runs so one sweep feeds all tables.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/core"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// Runner executes and memoizes benchmark runs.
+type Runner struct {
+	Size        apps.Size
+	PageBytes   int
+	GCThreshold int64
+	Procs       []int     // machine sizes; the paper uses 8, 32, 64
+	Progress    io.Writer // optional progress log
+
+	cache map[runKey]*core.Result
+}
+
+type runKey struct {
+	app   string
+	proto string
+	procs int
+}
+
+// NewRunner returns a runner at the given problem size with the paper's
+// machine parameters.
+func NewRunner(size apps.Size) *Runner {
+	return &Runner{
+		Size:        size,
+		PageBytes:   8192,
+		GCThreshold: 8 << 20,
+		Procs:       []int{8, 32, 64},
+		cache:       map[runKey]*core.Result{},
+	}
+}
+
+// Run returns the (memoized) result of app under proto on procs nodes.
+// proto "seq" ignores procs.
+func (r *Runner) Run(app, proto string, procs int) *core.Result {
+	if proto == core.ProtoSeq {
+		procs = 1
+	}
+	key := runKey{app, proto, procs}
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	a, err := apps.New(app, r.Size)
+	if err != nil {
+		panic(err)
+	}
+	opts := core.Options{
+		Protocol:    proto,
+		NumProcs:    procs,
+		PageBytes:   r.PageBytes,
+		GCThreshold: r.GCThreshold,
+	}
+	start := time.Now()
+	res, err := core.Run(opts, a, false)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s/%s/p%d: %v", app, proto, procs, err))
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "# ran %s/%s/p%d: simulated %.1fs (%.2fs real)\n",
+			app, proto, procs, res.Stats.Elapsed.Micros()/1e6, time.Since(start).Seconds())
+	}
+	r.cache[key] = res
+	return res
+}
+
+// Seq returns the sequential baseline for app.
+func (r *Runner) Seq(app string) *core.Result { return r.Run(app, core.ProtoSeq, 1) }
+
+// Speedup returns seq/parallel simulated time.
+func (r *Runner) Speedup(app, proto string, procs int) float64 {
+	seq := r.Seq(app).Stats.Elapsed
+	par := r.Run(app, proto, procs).Stats.Elapsed
+	return float64(seq) / float64(par)
+}
+
+// AppNames lists the benchmark applications in the paper's order.
+func AppNames() []string { return apps.Names }
+
+// seconds formats simulated time as seconds.
+func seconds(t sim.Time) string { return fmt.Sprintf("%.1f", t.Micros()/1e6) }
+
+// mb formats bytes as megabytes.
+func mb(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }
+
+// avgCounts returns the average per-node counters of a run.
+func avgCounts(res *core.Result) stats.Counters { return res.Stats.AvgNode().Counts }

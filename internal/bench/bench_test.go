@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/core"
+)
+
+func testRunner() *Runner {
+	r := NewRunner(apps.SizeTest)
+	r.PageBytes = 1024
+	r.Procs = []int{2, 4}
+	return r
+}
+
+func TestRunnerMemoization(t *testing.T) {
+	r := testRunner()
+	a := r.Run("sor", core.ProtoHLRC, 4)
+	b := r.Run("sor", core.ProtoHLRC, 4)
+	if a != b {
+		t.Fatal("identical runs not memoized")
+	}
+	c := r.Run("sor", core.ProtoLRC, 4)
+	if a == c {
+		t.Fatal("different protocols share a cache entry")
+	}
+}
+
+func TestRunnerSeqIgnoresProcs(t *testing.T) {
+	r := testRunner()
+	a := r.Run("sor", core.ProtoSeq, 4)
+	b := r.Seq("sor")
+	if a != b {
+		t.Fatal("seq runs with different proc counts not unified")
+	}
+}
+
+func TestSpeedupPositive(t *testing.T) {
+	r := testRunner()
+	s := r.Speedup("sor", core.ProtoHLRC, 4)
+	if s <= 0 {
+		t.Fatalf("speedup = %v", s)
+	}
+}
+
+func TestTable2DataShape(t *testing.T) {
+	r := testRunner()
+	rows := r.Table2Data()
+	if len(rows) != len(AppNames()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		for _, p := range r.Procs {
+			for _, proto := range core.Protocols {
+				if row.Speedups[p][proto] <= 0 {
+					t.Fatalf("%s/%s/p%d speedup missing", row.App, proto, p)
+				}
+			}
+		}
+	}
+}
+
+func TestTable4DataHomeEffect(t *testing.T) {
+	r := testRunner()
+	// One 8x8 test-size LU block per 512-byte page, so block owners are
+	// page homes — the alignment the paper-size configuration has.
+	r.PageBytes = 512
+	rows := r.Table4Data()
+	for _, row := range rows {
+		if row.App == "lu" && row.Proto == core.ProtoHLRC && row.Counts.DiffsCreated != 0 {
+			t.Fatalf("LU under HLRC created %d diffs (home effect broken)", row.Counts.DiffsCreated)
+		}
+	}
+}
+
+func TestTable5DataNonEmpty(t *testing.T) {
+	r := testRunner()
+	for _, row := range r.Table5Data(4) {
+		if row.Msgs == 0 {
+			t.Fatalf("%s/%s sent no messages", row.App, row.Proto)
+		}
+	}
+}
+
+func TestTable6HLRCBelowLRC(t *testing.T) {
+	r := testRunner()
+	rows := r.Table6Data()
+	for i := 0; i < len(rows); i += 2 {
+		lrc, hlrc := rows[i], rows[i+1]
+		if lrc.App == "raytrace" {
+			continue // tiny scene: fixed per-page vectors dominate both
+		}
+		if hlrc.ProtoPeakMB > lrc.ProtoPeakMB {
+			t.Errorf("%s p%d: HLRC proto mem %.3f above LRC %.3f",
+				lrc.App, lrc.Procs, hlrc.ProtoPeakMB, lrc.ProtoPeakMB)
+		}
+	}
+}
+
+func TestFig3BreakdownsSumToTotal(t *testing.T) {
+	r := testRunner()
+	for _, row := range r.Fig3Data() {
+		sum := row.Compute + row.Data + row.GC + row.Lock + row.Barrier + row.Protocol
+		if sum != row.Total {
+			t.Fatalf("%s/%s/p%d breakdown sum %v != total %v", row.App, row.Proto, row.Procs, sum, row.Total)
+		}
+	}
+}
+
+func TestFig4DataPresent(t *testing.T) {
+	r := testRunner()
+	rows := r.Fig4Data()
+	if len(rows) != 2*(8+32) {
+		t.Fatalf("fig4 rows = %d, want %d", len(rows), 2*(8+32))
+	}
+	var activity float64
+	for _, row := range rows {
+		activity += row.Compute + row.Data + row.Lock + row.Protocol
+	}
+	if activity == 0 {
+		t.Fatal("fig4 captured an empty phase")
+	}
+}
+
+func TestSORZeroDirection(t *testing.T) {
+	r := testRunner()
+	lrc, hlrc, _ := r.SORZeroData(4)
+	if lrc <= 0 || hlrc <= 0 {
+		t.Fatal("sor-zero runs missing")
+	}
+}
+
+func TestTableFormattingSmoke(t *testing.T) {
+	r := testRunner()
+	var buf bytes.Buffer
+	r.Table1(&buf)
+	r.Table2(&buf)
+	Table3(&buf, 1024)
+	r.Table4(&buf)
+	r.Table5(&buf)
+	r.Table6(&buf)
+	r.Fig3(&buf)
+	r.SORZero(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Figure 3", "§4.8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	for _, app := range AppNames() {
+		if !strings.Contains(out, app) {
+			t.Fatalf("output missing app %q", app)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	r := testRunner()
+	var buf bytes.Buffer
+	r.Ablations(&buf)
+	for _, want := range []string{"eager diffs", "home placement", "interrupt cost", "page size", "GC threshold", "lock service", "AURC", "network model"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+}

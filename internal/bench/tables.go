@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"gosvm/internal/core"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// Table1 reports problem sizes and sequential execution times.
+func (r *Runner) Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: benchmark applications and sequential execution times")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Application\tSequential time (s)")
+	for _, app := range AppNames() {
+		seq := r.Seq(app)
+		fmt.Fprintf(tw, "%s\t%s\n", app, seconds(seq.Stats.Elapsed))
+	}
+	tw.Flush()
+}
+
+// Table2Row is one application's speedups.
+type Table2Row struct {
+	App      string
+	Speedups map[int]map[string]float64 // procs -> proto -> speedup
+}
+
+// Table2Data computes the speedup table.
+func (r *Runner) Table2Data() []Table2Row {
+	var rows []Table2Row
+	for _, app := range AppNames() {
+		row := Table2Row{App: app, Speedups: map[int]map[string]float64{}}
+		for _, p := range r.Procs {
+			row.Speedups[p] = map[string]float64{}
+			for _, proto := range core.Protocols {
+				row.Speedups[p][proto] = r.Speedup(app, proto, p)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table2 reports speedups for the four protocols at each machine size.
+func (r *Runner) Table2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: speedups (vs. sequential) with LRC, OLRC, HLRC, OHLRC")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "\t")
+	for _, p := range r.Procs {
+		fmt.Fprintf(tw, "%d nodes\t\t\t\t", p)
+	}
+	fmt.Fprintln(tw)
+	fmt.Fprint(tw, "Application\t")
+	for range r.Procs {
+		fmt.Fprint(tw, "LRC\tOLRC\tHLRC\tOHLRC\t")
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Table2Data() {
+		fmt.Fprintf(tw, "%s\t", row.App)
+		for _, p := range r.Procs {
+			for _, proto := range core.Protocols {
+				fmt.Fprintf(tw, "%.1f\t", row.Speedups[p][proto])
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Table3 reports the basic operation cost model and the derived
+// round-trip latencies quoted in §4.3.
+func Table3(w io.Writer, pageBytes int) {
+	c := paragon.DefaultCosts()
+	fmt.Fprintln(w, "Table 3: timings for basic operations (model constants)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	us := func(t sim.Time) string { return fmt.Sprintf("%.0f", t.Micros()) }
+	fmt.Fprintf(tw, "Message latency\t%s us\n", us(c.MsgLatency))
+	fmt.Fprintf(tw, "Page transfer (%d B)\t%s us\n", pageBytes, us(c.Wire(pageBytes)-c.MsgLatency))
+	fmt.Fprintf(tw, "Receive interrupt\t%s us\n", us(c.ReceiveInterrupt))
+	fmt.Fprintf(tw, "Twin copy\t%s us\n", us(c.TwinCost(pageBytes)))
+	fmt.Fprintf(tw, "Diff creation\t%s-%s us\n", us(c.DiffCreateBase), us(c.DiffCreateCost(pageBytes/8)))
+	fmt.Fprintf(tw, "Diff application\t%s-%s us\n", us(c.DiffApplyBase), us(c.DiffApplyCost(pageBytes/8)))
+	fmt.Fprintf(tw, "Page fault\t%s us\n", us(c.PageFault))
+	fmt.Fprintf(tw, "Page invalidation\t%s us\n", us(c.PageInval))
+	fmt.Fprintf(tw, "Page protection\t%s us\n", us(c.PageProtect))
+	tw.Flush()
+	fmt.Fprintln(w, "Derived minimum latencies (§4.3):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	hlrcMiss := c.PageFault + c.Wire(4) + c.ReceiveInterrupt + c.Wire(pageBytes)
+	ohlrcMiss := c.PageFault + c.Wire(4) + c.Wire(pageBytes)
+	lrcMiss := c.PageFault + c.Wire(4) + c.ReceiveInterrupt + c.Wire(8) + c.DiffApplyCost(1)
+	olrcMiss := c.PageFault + c.Wire(4) + c.Wire(8) + c.DiffApplyCost(1)
+	acq := 2*c.Wire(4) + 2*c.ReceiveInterrupt + c.Wire(64) + c.LockHandling
+	acqCoproc := 2*c.Wire(4) + c.Wire(64) + c.LockHandling
+	fmt.Fprintf(tw, "HLRC page miss\t%s us\n", us(hlrcMiss))
+	fmt.Fprintf(tw, "OHLRC page miss\t%s us\n", us(ohlrcMiss))
+	fmt.Fprintf(tw, "LRC page miss (1-word diff)\t%s us\n", us(lrcMiss))
+	fmt.Fprintf(tw, "OLRC page miss (1-word diff)\t%s us\n", us(olrcMiss))
+	fmt.Fprintf(tw, "Remote lock acquire\t%s us\n", us(acq))
+	fmt.Fprintf(tw, "Remote lock acquire (co-processor)\t%s us\n", us(acqCoproc))
+	tw.Flush()
+}
+
+// Table4Row is the per-node operation counts of one app/protocol/size.
+type Table4Row struct {
+	App    string
+	Procs  int
+	Proto  string
+	Counts stats.Counters
+}
+
+// Table4Data gathers LRC vs HLRC operation counts at the smallest and
+// largest machine size.
+func (r *Runner) Table4Data() []Table4Row {
+	sizes := []int{r.Procs[0], r.Procs[len(r.Procs)-1]}
+	var rows []Table4Row
+	for _, app := range AppNames() {
+		for _, p := range sizes {
+			for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC} {
+				rows = append(rows, Table4Row{
+					App: app, Procs: p, Proto: proto,
+					Counts: avgCounts(r.Run(app, proto, p)),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Table4 reports average per-node read misses, diffs, and synchronization
+// operations for LRC vs HLRC.
+func (r *Runner) Table4(w io.Writer) {
+	fmt.Fprintln(w, "Table 4: average number of operations per node (LRC vs HLRC)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "App\tNodes\tReadMiss LRC\tReadMiss HLRC\tDiffsCreated LRC\tDiffsCreated HLRC\tDiffsApplied LRC\tDiffsApplied HLRC\tLockAcq\tBarriers")
+	rows := r.Table4Data()
+	for i := 0; i < len(rows); i += 2 {
+		lrc, hlrc := rows[i], rows[i+1]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			lrc.App, lrc.Procs,
+			lrc.Counts.ReadMisses, hlrc.Counts.ReadMisses,
+			lrc.Counts.DiffsCreated, hlrc.Counts.DiffsCreated,
+			lrc.Counts.DiffsApplied, hlrc.Counts.DiffsApplied,
+			hlrc.Counts.LockAcquires, hlrc.Counts.Barriers)
+	}
+	tw.Flush()
+}
+
+// Table5Row is one app's communication traffic under one protocol.
+type Table5Row struct {
+	App       string
+	Proto     string
+	Msgs      int64
+	DataMB    float64
+	ProtoMB   float64
+	PageFetch int64
+}
+
+// Table5Data gathers traffic for LRC vs HLRC at the largest size.
+func (r *Runner) Table5Data(procs int) []Table5Row {
+	var rows []Table5Row
+	for _, app := range AppNames() {
+		for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC} {
+			res := r.Run(app, proto, procs)
+			rows = append(rows, Table5Row{
+				App:     app,
+				Proto:   proto,
+				Msgs:    res.Stats.TotalMsgs(),
+				DataMB:  float64(res.Stats.TotalBytes(stats.ClassData)) / (1 << 20),
+				ProtoMB: float64(res.Stats.TotalBytes(stats.ClassProtocol)) / (1 << 20),
+			})
+		}
+	}
+	return rows
+}
+
+// Table5 reports message counts and update/protocol traffic.
+func (r *Runner) Table5(w io.Writer) {
+	procs := r.Procs[len(r.Procs)-1]
+	fmt.Fprintf(w, "Table 5: communication traffic, %d nodes (LRC vs HLRC)\n", procs)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "App\tProtocol\tMessages\tUpdate traffic (MB)\tProtocol traffic (MB)")
+	for _, row := range r.Table5Data(procs) {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.2f\t%.2f\n", row.App, row.Proto, row.Msgs, row.DataMB, row.ProtoMB)
+	}
+	tw.Flush()
+}
+
+// Table6Row is one app's memory requirement under one protocol.
+type Table6Row struct {
+	App          string
+	Proto        string
+	Procs        int
+	AppMB        float64 // application shared memory per node
+	ProtoPeakMB  float64 // peak protocol memory per node (max over nodes)
+	RatioPercent float64 // protocol / application, percent
+}
+
+// Table6Data gathers memory requirements for LRC vs HLRC.
+func (r *Runner) Table6Data() []Table6Row {
+	var rows []Table6Row
+	for _, app := range AppNames() {
+		for _, p := range r.Procs {
+			for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC} {
+				res := r.Run(app, proto, p)
+				appMB := float64(res.Stats.TotalAppMem()) / float64(p) / (1 << 20)
+				protoMB := float64(res.Stats.PeakProtoMem()) / (1 << 20)
+				rows = append(rows, Table6Row{
+					App: app, Proto: proto, Procs: p,
+					AppMB: appMB, ProtoPeakMB: protoMB,
+					RatioPercent: protoMB / appMB * 100,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Table6 reports protocol memory vs application memory.
+func (r *Runner) Table6(w io.Writer) {
+	fmt.Fprintln(w, "Table 6: memory requirements per node (peak protocol memory vs application memory)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "App\tNodes\tApp MB/node\tLRC proto MB\tLRC %\tHLRC proto MB\tHLRC %")
+	rows := r.Table6Data()
+	for i := 0; i < len(rows); i += 2 {
+		lrc, hlrc := rows[i], rows[i+1]
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.0f%%\t%.2f\t%.0f%%\n",
+			lrc.App, lrc.Procs, lrc.AppMB,
+			lrc.ProtoPeakMB, lrc.RatioPercent,
+			hlrc.ProtoPeakMB, hlrc.RatioPercent)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,655 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gosvm/internal/mem"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+	"gosvm/internal/trace"
+	"gosvm/internal/vc"
+)
+
+// coherence is the protocol-specific half of an engine, used by the shared
+// synchronization machinery in base.
+type coherence interface {
+	// closeCost returns the compute cost of ending the current interval
+	// (diff creation or co-processor posting, page reprotection).
+	closeCost() sim.Time
+	// closeCommit ends the current interval: records the interval, emits
+	// write notices, and performs update propagation. It must be called
+	// exactly once per closeCost, after the cost has been charged.
+	closeCommit()
+	// noticePage integrates one incoming write notice: invalidate local
+	// copies and record protocol-specific per-page state. Returns the
+	// invalidation cost to charge.
+	noticePage(rec *IntervalRec, page int) sim.Time
+	// onBarrierRelease runs protocol-specific end-of-barrier work on the
+	// application proc (GC for the homeless protocols, log pruning for
+	// the home-based ones).
+	onBarrierRelease(g *grantInfo)
+	// protoMem returns current protocol metadata bytes (GC trigger).
+	protoMem() int64
+}
+
+// base carries the state and synchronization algorithms shared by all
+// protocol engines: the vector clock, the interval log, distributed lock
+// management, and the centralized barrier.
+type base struct {
+	sys  *System
+	node *paragon.Node
+	self int
+	co   coherence
+
+	clock vc.VC
+	pt    *mem.Table
+
+	// dirty is the ordered set of pages written in the open interval.
+	dirty []int32
+
+	// log holds known interval records per processor, ascending by
+	// interval index. Homeless protocols prune it at GC; home-based ones
+	// at every barrier.
+	log [][]*IntervalRec
+
+	locks map[int]*lockState
+	// lockOwner is the manager-side table: for locks managed by this
+	// node, the last known owner.
+	lockOwner map[int]int
+
+	// lastReported is the highest own interval index sent to the barrier
+	// manager.
+	lastReported int32
+
+	bmgr *barrierMgr // non-nil on the barrier manager node
+}
+
+type lockState struct {
+	owner bool          // this node holds the lock token
+	held  bool          // the application is inside the critical section
+	queue []paragon.Msg // forwarded acquire requests awaiting our release
+}
+
+func (b *base) init(sys *System, self int, co coherence) {
+	b.sys = sys
+	b.node = sys.M.Nodes[self]
+	b.self = self
+	b.co = co
+	b.clock = vc.New(sys.Opts.NumProcs)
+	b.pt = sys.Tables[self]
+	b.log = make([][]*IntervalRec, sys.Opts.NumProcs)
+	b.locks = make(map[int]*lockState)
+	b.lockOwner = make(map[int]int)
+	if self == barrierManager {
+		b.bmgr = newBarrierMgr(sys.Opts.NumProcs)
+	}
+}
+
+func (b *base) costs() *paragon.Costs { return &b.sys.Opts.Costs }
+func (b *base) st() *stats.Node       { return b.node.Stats }
+func (b *base) app() *sim.Proc        { return b.sys.appProcs[b.self] }
+
+// use charges d of compute time on the application proc.
+func (b *base) use(d sim.Time, cat stats.Category) {
+	if d > 0 {
+		b.node.CPU.Use(b.app(), d, cat)
+	}
+}
+
+// emit records a protocol trace event (no-op unless tracing is enabled).
+func (b *base) emit(k trace.Kind, page, peer int, arg int64) {
+	b.sys.traceLog.Emit(trace.Event{
+		T: b.sys.K.Now(), Node: b.self, Kind: k, Page: page, Peer: peer, Arg: arg,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Interval management
+
+// markDirty records the first write to page in the open interval.
+func (b *base) markDirty(page int) { b.dirty = append(b.dirty, int32(page)) }
+
+// closeIntervalOnApp ends the open interval from application-proc context
+// (remote acquire or barrier entry), charging its cost.
+func (b *base) closeIntervalOnApp() {
+	if len(b.dirty) == 0 {
+		return
+	}
+	b.use(b.co.closeCost(), stats.CatProtocol)
+	b.co.closeCommit()
+}
+
+// newIntervalRec assigns the next own interval index, advancing the clock,
+// and stores the record in the log. Called by closeCommit implementations.
+func (b *base) newIntervalRec() *IntervalRec {
+	b.clock[b.self]++
+	rec := &IntervalRec{
+		Proc:     b.self,
+		Interval: b.clock[b.self],
+		VC:       b.clock.Copy(),
+		Pages:    b.dirty,
+	}
+	b.dirty = nil
+	b.insertLog(rec)
+	return rec
+}
+
+// insertLog stores rec in the interval log with memory accounting.
+func (b *base) insertLog(rec *IntervalRec) {
+	b.log[rec.Proc] = append(b.log[rec.Proc], rec)
+	b.st().MemAlloc(rec.memSize())
+}
+
+// pruneLogThrough drops all log records with interval index <= upTo[proc],
+// releasing their memory. Home-based protocols call this after barriers;
+// homeless ones at GC.
+func (b *base) pruneLogThrough(upTo vc.VC) {
+	for p := range b.log {
+		recs := b.log[p]
+		cut := sort.Search(len(recs), func(i int) bool { return recs[i].Interval > upTo[p] })
+		for _, r := range recs[:cut] {
+			b.st().MemFree(r.memSize())
+		}
+		b.log[p] = append([]*IntervalRec(nil), recs[cut:]...)
+	}
+}
+
+// logSince collects the interval records the holder of knowledge `have`
+// is missing, in log order.
+func (b *base) logSince(have vc.VC) []IntervalRec {
+	var out []IntervalRec
+	for p := range b.log {
+		recs := b.log[p]
+		from := sort.Search(len(recs), func(i int) bool { return recs[i].Interval > have[p] })
+		for _, r := range recs[from:] {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// ownRecsAfter returns this node's own interval records with index > after.
+func (b *base) ownRecsAfter(after int32) []IntervalRec {
+	recs := b.log[b.self]
+	from := sort.Search(len(recs), func(i int) bool { return recs[i].Interval > after })
+	out := make([]IntervalRec, 0, len(recs)-from)
+	for _, r := range recs[from:] {
+		out = append(out, *r)
+	}
+	return out
+}
+
+// grantPayload builds the coherence payload for a grant to a requester
+// whose clock is reqVC.
+func (b *base) grantPayload(reqVC vc.VC) grantInfo {
+	g := grantInfo{VC: b.clock.Copy(), Intervals: b.logSince(reqVC)}
+	if !b.sys.homeBased {
+		return g
+	}
+	// Home-based protocols do not ship vector timestamps with write
+	// notices (a per-page per-writer max interval suffices); strip them
+	// to model the smaller wire format.
+	for i := range g.Intervals {
+		g.Intervals[i].VC = nil
+	}
+	return g
+}
+
+// applyGrant merges a grant/release payload on the application proc:
+// store new interval records, deliver write notices (invalidations), and
+// advance the clock.
+func (b *base) applyGrant(g grantInfo) {
+	var cost sim.Time
+	for i := range g.Intervals {
+		rec := g.Intervals[i]
+		if rec.Interval <= b.clock[rec.Proc] {
+			continue // already known via another path
+		}
+		r := &rec
+		b.insertLog(r)
+		b.clock[rec.Proc] = rec.Interval
+		for _, pg := range rec.Pages {
+			cost += b.co.noticePage(r, int(pg))
+		}
+	}
+	b.clock.MaxWith(g.VC)
+	b.use(cost, stats.CatProtocol)
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+
+func (b *base) lockMgrNode(lock int) int { return lock % b.sys.Opts.NumProcs }
+
+// syncTarget is where synchronization messages (lock, barrier, GC
+// rendezvous) are serviced: the compute processor in the paper's four
+// protocols, or the co-processor under the OverlapLocks extension.
+func (b *base) syncTarget() paragon.Target {
+	if b.sys.Opts.OverlapLocks && b.sys.Opts.Overlapped() {
+		return paragon.ToCoproc
+	}
+	return paragon.ToCompute
+}
+
+func (b *base) lockState(lock int) *lockState {
+	ls, ok := b.locks[lock]
+	if !ok {
+		// The manager starts out owning every lock it manages.
+		ls = &lockState{owner: b.lockMgrNode(lock) == b.self}
+		b.locks[lock] = ls
+	}
+	return ls
+}
+
+// Acquire implements LOCK. Local re-acquires are free; remote acquires end
+// the current interval, chase the token through the manager, and merge the
+// coherence payload carried by the grant.
+func (b *base) Acquire(lock int) {
+	ls := b.lockState(lock)
+	if ls.held {
+		panic(fmt.Sprintf("core: node %d re-entering lock %d", b.self, lock))
+	}
+	if ls.owner {
+		ls.held = true
+		return
+	}
+	// Remote acquire: an interval boundary.
+	b.closeIntervalOnApp()
+	b.st().Counts.LockAcquires++
+	b.emit(trace.LockAcquire, -1, -1, int64(lock))
+	req := paragon.Msg{
+		Kind:   kLockAcq,
+		Size:   8 + b.clock.WireSize(),
+		Class:  stats.ClassProtocol,
+		Target: b.syncTarget(),
+		Body:   &lockReq{Lock: lock, Requester: b.self, ReqVC: b.clock.Copy()},
+	}
+	var resp paragon.Msg
+	mgr := b.lockMgrNode(lock)
+	if mgr == b.self {
+		// We are the manager: forward straight to the owner.
+		b.use(b.costs().LockHandling, stats.CatProtocol)
+		owner := b.mgrOwner(lock)
+		b.mgrSetOwner(lock, b.self)
+		req.Kind = kLockFwd
+		t0 := b.app().Now()
+		resp = b.node.Call(b.app(), owner, req)
+		b.st().Add(stats.CatLock, b.app().Now()-t0)
+	} else {
+		t0 := b.app().Now()
+		resp = b.node.Call(b.app(), mgr, req)
+		b.st().Add(stats.CatLock, b.app().Now()-t0)
+	}
+	g := resp.Body.(*grantInfo)
+	b.emit(trace.LockGrant, -1, resp.From, int64(lock))
+	b.applyGrant(*g)
+	ls.owner = true
+	ls.held = true
+}
+
+// Release implements UNLOCK. If remote requests are queued, the release is
+// an interval boundary and the token moves to the head of the queue.
+func (b *base) Release(lock int) {
+	ls := b.lockState(lock)
+	if !ls.held {
+		panic(fmt.Sprintf("core: node %d releasing lock %d it does not hold", b.self, lock))
+	}
+	ls.held = false
+	if len(ls.queue) == 0 {
+		return // keep the token cached
+	}
+	b.closeIntervalOnApp()
+	b.use(b.costs().LockHandling, stats.CatProtocol)
+	head := ls.queue[0]
+	rest := ls.queue[1:]
+	ls.queue = nil
+	ls.owner = false
+	lr := head.Body.(*lockReq)
+	b.grantTo(head, lr)
+	// Any remaining queued requests chase the new owner.
+	for _, m := range rest {
+		b.node.Send(lr.Requester, m)
+	}
+}
+
+// grantTo sends the lock token plus coherence payload to the requester.
+func (b *base) grantTo(req paragon.Msg, lr *lockReq) {
+	g := b.grantPayload(lr.ReqVC)
+	b.node.Respond(req, paragon.Msg{
+		Kind:  kLockFwd,
+		Size:  g.wireSize(),
+		Class: stats.ClassProtocol,
+		Body:  &g,
+	})
+}
+
+type lockReq struct {
+	Lock      int
+	Requester int
+	ReqVC     vc.VC
+}
+
+func (b *base) mgrOwner(lock int) int {
+	if o, ok := b.lockOwner[lock]; ok {
+		return o
+	}
+	return b.self
+}
+
+func (b *base) mgrSetOwner(lock, owner int) { b.lockOwner[lock] = owner }
+
+// handleLockAcq services a kLockAcq at the manager (dispatcher context).
+func (b *base) handleLockAcq(m paragon.Msg) (sim.Time, func()) {
+	return b.costs().LockHandling, func() {
+		lr := m.Body.(*lockReq)
+		owner := b.mgrOwner(lr.Lock)
+		b.mgrSetOwner(lr.Lock, lr.Requester)
+		m.Kind = kLockFwd // from here on the message is a forwarded request
+		if owner == b.self {
+			// Manager owns the token: behave as the owner.
+			b.ownerReceives(m, lr)
+			return
+		}
+		b.node.Send(owner, m)
+	}
+}
+
+// handleLockFwd services a forwarded acquire at the (supposed) owner.
+// The grant/queue decision is made in the effect: between the message's
+// arrival and the end of its service time the application may locally
+// re-acquire the lock, and granting anyway would break mutual exclusion.
+func (b *base) handleLockFwd(m paragon.Msg) (sim.Time, func()) {
+	lr := m.Body.(*lockReq)
+	ls := b.lockState(lr.Lock)
+	work := b.costs().LockHandling
+	if ls.owner && !ls.held && len(b.dirty) > 0 {
+		// Likely a free grant with an interval to close; charge for it.
+		work += b.co.closeCost()
+	}
+	return work, func() {
+		ls := b.lockState(lr.Lock)
+		if !ls.owner || ls.held {
+			// Busy, or ownership still in flight: queue for our release.
+			ls.queue = append(ls.queue, m)
+			return
+		}
+		// Free: receiving a remote lock request ends the current interval.
+		b.co.closeCommit()
+		ls.owner = false
+		b.grantTo(m, lr)
+	}
+}
+
+// ownerReceives handles an acquire landing on the manager when its table
+// says the manager is the owner, from dispatcher effect context. The
+// token may nonetheless be in flight towards us (our own acquire), so the
+// ls.owner check is essential.
+func (b *base) ownerReceives(m paragon.Msg, lr *lockReq) {
+	ls := b.lockState(lr.Lock)
+	if ls.held || !ls.owner {
+		ls.queue = append(ls.queue, m)
+		return
+	}
+	if len(b.dirty) > 0 {
+		// Interval boundary in handler context: the closing cost was not
+		// part of this handler's declared work; steal it explicitly so
+		// the compute processor pays for it.
+		b.node.CPU.Steal(b.co.closeCost())
+		b.co.closeCommit()
+	}
+	ls.owner = false
+	b.grantTo(m, lr)
+}
+
+// ---------------------------------------------------------------------------
+// Barriers
+
+// barrierManager is the node that runs the centralized barrier algorithm.
+const barrierManager = 0
+
+type barrierMgr struct {
+	nproc    int
+	arrived  int
+	waiters  []paragon.Msg // parked remote requests, in arrival order
+	reports  []*barrierReport
+	episodes int
+
+	// localWait/localRelease hand the manager's own release from
+	// dispatcher context back to its parked application proc.
+	localWait    *sim.Proc
+	localRelease *grantInfo
+
+	// GC rendezvous state (homeless protocols).
+	gcDone    int
+	gcWaiters []paragon.Msg
+}
+
+func newBarrierMgr(nproc int) *barrierMgr {
+	return &barrierMgr{nproc: nproc}
+}
+
+type barrierReport struct {
+	Node     int
+	VC       vc.VC
+	Recs     []IntervalRec
+	ProtoMem int64
+}
+
+// Barrier implements BARRIER. Every node ends its interval, reports its
+// new own intervals to the manager, and blocks until the manager
+// redistributes the merged knowledge.
+func (b *base) Barrier(id int) {
+	b.closeIntervalOnApp()
+	b.st().Counts.Barriers++
+	b.emit(trace.BarrierEnter, -1, -1, int64(id))
+	rep := &barrierReport{
+		Node:     b.self,
+		VC:       b.clock.Copy(),
+		Recs:     b.ownRecsAfter(b.lastReported),
+		ProtoMem: b.co.protoMem(),
+	}
+	if b.sys.homeBased {
+		// Home-based write notices carry no vector timestamps.
+		for i := range rep.Recs {
+			rep.Recs[i].VC = nil
+		}
+	}
+	if len(b.log[b.self]) > 0 {
+		b.lastReported = b.log[b.self][len(b.log[b.self])-1].Interval
+	}
+	var g *grantInfo
+	t0 := b.app().Now()
+	if b.self == barrierManager {
+		release := b.bmgrArrive(rep, paragon.Msg{})
+		if release == nil {
+			// Wait for the stragglers; the dispatcher completes the
+			// barrier and unparks us via the manager's local release slot.
+			b.bmgr.localWait = b.app()
+			b.app().Park(fmt.Sprintf("barrier %d", id))
+			release = b.bmgr.localRelease
+			b.bmgr.localRelease = nil
+		}
+		g = release
+	} else {
+		resp := b.node.Call(b.app(), barrierManager, paragon.Msg{
+			Kind:   kBarrier,
+			Size:   8 + rep.VC.WireSize() + recsWireSize(rep.Recs),
+			Class:  stats.ClassProtocol,
+			Target: b.syncTarget(),
+			Body:   rep,
+		})
+		g = resp.Body.(*grantInfo)
+	}
+	b.st().Add(stats.CatBarrier, b.app().Now()-t0)
+	b.emit(trace.BarrierExit, -1, -1, int64(id))
+	b.applyGrant(*g)
+	b.co.onBarrierRelease(g)
+}
+
+// bmgrArrive registers an arrival at the barrier manager. For the
+// manager's local arrival req is the zero Msg. It returns the release
+// payload immediately if this arrival completes the barrier and the caller
+// is the local node; remote completions are sent from dispatcher context.
+func (b *base) bmgrArrive(rep *barrierReport, req paragon.Msg) *grantInfo {
+	mgr := b.bmgr
+	mgr.reports = append(mgr.reports, rep)
+	if req.Reply != nil {
+		mgr.waiters = append(mgr.waiters, req)
+	}
+	mgr.arrived++
+	if mgr.arrived < mgr.nproc {
+		return nil
+	}
+	return b.bmgrComplete()
+}
+
+// bmgrComplete merges all reports and releases every waiter. Returns the
+// local node's release payload.
+func (b *base) bmgrComplete() *grantInfo {
+	mgr := b.bmgr
+	// Merge every reported interval into the manager's log. Reports carry
+	// each node's *own* intervals, so together they cover everything.
+	for _, rep := range mgr.reports {
+		for i := range rep.Recs {
+			rec := rep.Recs[i]
+			if !b.hasLogRec(rec.Proc, rec.Interval) {
+				r := rec
+				b.insertLog(&r)
+			}
+		}
+	}
+	merged := b.clock.Copy()
+	for _, rep := range mgr.reports {
+		merged.MaxWith(rep.VC)
+	}
+	for p := range b.log {
+		if n := len(b.log[p]); n > 0 && b.log[p][n-1].Interval > merged[p] {
+			merged[p] = b.log[p][n-1].Interval
+		}
+	}
+	gc := b.sys.gcDecider != nil && b.sys.gcDecider(mgr.reports)
+	var local *grantInfo
+	wi := 0
+	for _, rep := range mgr.reports {
+		g := grantInfo{VC: merged.Copy(), GC: gc, Intervals: b.releaseRecsFor(rep)}
+		if rep.Node == b.self {
+			local = &g
+			continue
+		}
+		req := mgr.waiters[wi]
+		wi++
+		b.node.Respond(req, paragon.Msg{
+			Kind:  kBarrier,
+			Size:  g.wireSize(),
+			Class: stats.ClassProtocol,
+			Body:  &g,
+		})
+	}
+	mgr.arrived = 0
+	mgr.reports = nil
+	mgr.waiters = nil
+	mgr.episodes++
+	if b.sys.onBarrier != nil {
+		b.sys.onBarrier(mgr.episodes)
+	}
+	return local
+}
+
+// releaseRecsFor selects the interval records node rep is missing.
+func (b *base) releaseRecsFor(rep *barrierReport) []IntervalRec {
+	var out []IntervalRec
+	for p := range b.log {
+		if p == rep.Node {
+			continue
+		}
+		recs := b.log[p]
+		from := sort.Search(len(recs), func(i int) bool { return recs[i].Interval > rep.VC[p] })
+		for _, r := range recs[from:] {
+			out = append(out, *r)
+		}
+	}
+	if b.sys.homeBased {
+		for i := range out {
+			out[i].VC = nil
+		}
+	}
+	return out
+}
+
+func (b *base) hasLogRec(proc int, interval int32) bool {
+	recs := b.log[proc]
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].Interval >= interval })
+	return i < len(recs) && recs[i].Interval == interval
+}
+
+// handleBarrier services a remote barrier arrival at the manager.
+func (b *base) handleBarrier(m paragon.Msg) (sim.Time, func()) {
+	return b.costs().LockHandling, func() {
+		rep := m.Body.(*barrierReport)
+		if g := b.bmgrArrive(rep, m); g != nil {
+			// The remote arrival completed the barrier and the local
+			// node's release is pending: hand it over and wake the app.
+			b.bmgr.localRelease = g
+			if b.bmgr.localWait != nil {
+				w := b.bmgr.localWait
+				b.bmgr.localWait = nil
+				w.Unpark()
+			}
+		}
+	}
+}
+
+// gcRendezvous blocks until every node has reported kGCDone to the
+// manager (used by the homeless protocols after GC validation, so nobody
+// discards diffs another node may still need).
+func (b *base) gcRendezvous() {
+	if b.self == barrierManager {
+		mgr := b.bmgr
+		mgr.gcDone++
+		if b.gcMaybeComplete() {
+			return
+		}
+		mgr.localWait = b.app()
+		b.app().Park("gc rendezvous")
+		return
+	}
+	b.node.Call(b.app(), barrierManager, paragon.Msg{
+		Kind:   kGCDone,
+		Size:   8,
+		Class:  stats.ClassProtocol,
+		Target: b.syncTarget(),
+		Body:   b.self,
+	})
+}
+
+// gcMaybeComplete releases all GC waiters if every node has arrived.
+func (b *base) gcMaybeComplete() bool {
+	mgr := b.bmgr
+	if mgr.gcDone < mgr.nproc {
+		return false
+	}
+	for _, req := range mgr.gcWaiters {
+		b.node.Respond(req, paragon.Msg{
+			Kind: kGCDone, Size: 4, Class: stats.ClassProtocol,
+		})
+	}
+	mgr.gcWaiters = nil
+	mgr.gcDone = 0
+	if mgr.localWait != nil {
+		w := mgr.localWait
+		mgr.localWait = nil
+		w.Unpark()
+	}
+	return true
+}
+
+// handleGCDone counts GC completions at the manager.
+func (b *base) handleGCDone(m paragon.Msg) (sim.Time, func()) {
+	return 0, func() {
+		b.bmgr.gcDone++
+		b.bmgr.gcWaiters = append(b.bmgr.gcWaiters, m)
+		b.gcMaybeComplete()
+	}
+}

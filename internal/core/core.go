@@ -1,0 +1,202 @@
+// Package core implements the paper's four shared-virtual-memory
+// protocols on the simulated Paragon:
+//
+//   - LRC: the standard homeless lazy release consistency protocol
+//     (TreadMarks-style), with lazy diffs, distributed diff fetch, and
+//     garbage collection at barriers.
+//   - OLRC: LRC with diff creation and remote fetch service overlapped on
+//     the communication co-processor.
+//   - HLRC: the paper's contribution — home-based LRC. Diffs are computed
+//     at the end of each interval, sent to the page's home, applied there
+//     eagerly, and discarded; faults fetch whole pages from the home.
+//   - OHLRC: HLRC with diff creation, diff application, and page service
+//     overlapped on the communication co-processors.
+//
+// All four share the synchronization machinery in this package:
+// round-robin distributed lock managers with request forwarding and a
+// centralized barrier manager, both carrying coherence information
+// (write notices) exactly as the paper describes.
+package core
+
+import (
+	"fmt"
+
+	"gosvm/internal/mem"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/vc"
+)
+
+// Protocol names accepted by Options.Protocol.
+const (
+	ProtoSeq   = "seq" // sequential baseline: direct memory, no coherence
+	ProtoLRC   = "lrc"
+	ProtoOLRC  = "olrc"
+	ProtoHLRC  = "hlrc"
+	ProtoOHLRC = "ohlrc"
+	// ProtoAURC emulates Automatic Update Release Consistency (Iftode et
+	// al.), the hardware-assisted protocol HLRC was derived from: write
+	// propagation is free but write-through traffic is proportional to
+	// store count. Not part of the paper's four measured prototypes.
+	ProtoAURC = "aurc"
+)
+
+// Protocols lists the four SVM protocols in the paper's presentation
+// order.
+var Protocols = []string{ProtoLRC, ProtoOLRC, ProtoHLRC, ProtoOHLRC}
+
+// Options configures a run.
+type Options struct {
+	Protocol  string
+	NumProcs  int
+	PageBytes int
+	Costs     paragon.Costs
+
+	// GCThreshold is the per-node protocol memory (bytes) above which the
+	// homeless protocols garbage-collect at the next barrier. Zero means
+	// the TreadMarks-like default.
+	GCThreshold int64
+
+	// EagerDiff makes (non-overlapped) LRC create diffs at interval end
+	// rather than on demand. Overlapped LRC always creates eagerly on the
+	// co-processor, as in the paper.
+	EagerDiff bool
+
+	// HomeRoundRobin ignores the application's home placement and assigns
+	// homes round-robin (ablation).
+	HomeRoundRobin bool
+
+	// OverlapLocks moves lock and barrier service onto the communication
+	// co-processor in the overlapped protocols — the extension the paper
+	// suggests in §4.3 ("this could be reduced to only 150us if this
+	// service were moved to the co-processor") but did not implement.
+	// Ignored for the non-overlapped protocols.
+	OverlapLocks bool
+
+	// Mesh models the Paragon's 2-D wormhole mesh at link granularity
+	// (XY routing, per-link occupancy) instead of the default crossbar.
+	Mesh bool
+
+	// TraceLimit enables protocol event tracing, retaining up to this
+	// many events (negative = unlimited). Zero disables tracing.
+	TraceLimit int
+}
+
+// Defaults fills unset fields.
+func (o *Options) Defaults() {
+	if o.Protocol == "" {
+		o.Protocol = ProtoHLRC
+	}
+	if o.NumProcs == 0 {
+		o.NumProcs = 8
+	}
+	if o.PageBytes == 0 {
+		o.PageBytes = 4096
+	}
+	if o.Costs == (paragon.Costs{}) {
+		o.Costs = paragon.DefaultCosts()
+	}
+	if o.GCThreshold == 0 {
+		o.GCThreshold = 4 << 20
+	}
+}
+
+// Overlapped reports whether the protocol uses the co-processor.
+func (o *Options) Overlapped() bool {
+	return o.Protocol == ProtoOLRC || o.Protocol == ProtoOHLRC
+}
+
+// Message kinds.
+const (
+	kLockAcq    = iota + 1 // requester -> lock manager
+	kLockFwd               // manager -> current owner
+	kBarrier               // node -> barrier manager
+	kGCDone                // node -> barrier manager (homeless GC rendezvous)
+	kFetchDiffs            // faulting node -> writer (LRC/OLRC)
+	kFetchPage             // faulting node -> copy holder / home
+	kDiffFlush             // writer -> home (HLRC), or coproc-to-home (OHLRC)
+	kMakeDiff              // compute -> own coproc (overlapped protocols)
+)
+
+// IntervalRec is the write-notice record for one interval: the pages the
+// processor modified. In the homeless protocols the record carries the
+// full vector timestamp (needed to order diffs), which is the paper's
+// explanation for their metadata growth; the home-based protocols omit it.
+type IntervalRec struct {
+	Proc     int
+	Interval int32
+	VC       vc.VC // nil on the wire under HLRC/OHLRC
+	Pages    []int32
+}
+
+// Stamp returns the interval's identity for happens-before ordering.
+func (r *IntervalRec) Stamp() vc.Stamp {
+	return vc.Stamp{Proc: r.Proc, Interval: r.Interval, VC: r.VC}
+}
+
+// wireSize returns the encoded size of the record in bytes.
+func (r *IntervalRec) wireSize() int {
+	sz := 8 + 4*len(r.Pages)
+	if r.VC != nil {
+		sz += r.VC.WireSize()
+	}
+	return sz
+}
+
+// memSize returns the in-memory footprint for protocol memory accounting.
+func (r *IntervalRec) memSize() int64 {
+	sz := int64(48) + 4*int64(len(r.Pages))
+	if r.VC != nil {
+		sz += int64(r.VC.WireSize())
+	}
+	return sz
+}
+
+func recsWireSize(recs []IntervalRec) int {
+	sz := 4
+	for i := range recs {
+		sz += recs[i].wireSize()
+	}
+	return sz
+}
+
+// grantInfo is the coherence payload piggybacked on lock grants and
+// barrier releases.
+type grantInfo struct {
+	VC        vc.VC // the releaser's / manager's merged vector clock
+	Intervals []IntervalRec
+	GC        bool // homeless protocols: run garbage collection (barrier only)
+}
+
+func (g *grantInfo) wireSize() int {
+	return g.VC.WireSize() + recsWireSize(g.Intervals)
+}
+
+// Engine is one node's protocol instance. Fault and synchronization entry
+// points run on the application proc and may block; message handlers are
+// installed on the node's dispatchers at construction.
+type Engine interface {
+	// ReadFault and WriteFault bring the page to a readable / writable
+	// state. They run on the application proc.
+	ReadFault(page int)
+	WriteFault(page int)
+	// Acquire, Release and Barrier implement the Splash-2 synchronization
+	// primitives.
+	Acquire(lock int)
+	Release(lock int)
+	Barrier(id int)
+	// Finish is called once after the worker (and any gather phase)
+	// completes, letting engines verify internal invariants.
+	Finish()
+}
+
+func badKind(kind int) (sim.Time, func()) {
+	panic(fmt.Sprintf("core: unexpected message kind %d", kind))
+}
+
+// pageWN is one write notice attached to a page on a node that has not
+// yet brought the page up to date.
+type pageWN struct {
+	rec  *IntervalRec // the interval this notice came from
+	diff *mem.Diff    // LRC: fetched diff, nil until fetched
+}

@@ -1,0 +1,948 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+	"gosvm/internal/trace"
+)
+
+// testApp adapts closures to the App interface.
+type testApp struct {
+	name   string
+	setup  func(s *Setup)
+	init   func(w *Init)
+	worker func(c *Ctx, id int)
+	gather func(c *Ctx) []float64
+}
+
+func (a *testApp) Name() string            { return a.name }
+func (a *testApp) Setup(s *Setup)          { a.setup(s) }
+func (a *testApp) Init(w *Init)            { a.init(w) }
+func (a *testApp) Worker(c *Ctx, id int)   { a.worker(c, id) }
+func (a *testApp) Gather(c *Ctx) []float64 { return a.gather(c) }
+
+func testOpts(proto string, p int) Options {
+	return Options{Protocol: proto, NumProcs: p, PageBytes: 512}
+}
+
+func runOrFail(t *testing.T, opts Options, app App) *Result {
+	t.Helper()
+	res, err := Run(opts, app, false)
+	if err != nil {
+		t.Fatalf("%s/%s/p%d: %v", app.Name(), opts.Protocol, opts.NumProcs, err)
+	}
+	return res
+}
+
+func forEachProto(t *testing.T, procs []int, fn func(t *testing.T, proto string, p int)) {
+	for _, proto := range Protocols {
+		for _, p := range procs {
+			proto, p := proto, p
+			t.Run(fmt.Sprintf("%s/p%d", proto, p), func(t *testing.T) {
+				fn(t, proto, p)
+			})
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Litmus: lock-protected counter.
+
+func counterApp(n int) *testApp {
+	var addr mem.Addr
+	return &testApp{
+		name:  "counter",
+		setup: func(s *Setup) { addr = s.Alloc(1) },
+		init:  func(w *Init) { w.Store(addr, 0) },
+		worker: func(c *Ctx, id int) {
+			for i := 0; i < n; i++ {
+				c.Lock(1)
+				v := c.Load(addr)
+				// Open a preemption window inside the critical section so
+				// broken mutual exclusion would lose updates.
+				c.Compute(10 * sim.Microsecond)
+				c.Store(addr, v+1)
+				c.Unlock(1)
+			}
+			c.Barrier(0)
+		},
+		gather: func(c *Ctx) []float64 { return []float64{c.Load(addr)} },
+	}
+}
+
+func TestLockedCounter(t *testing.T) {
+	const n = 8
+	forEachProto(t, []int{2, 4, 7}, func(t *testing.T, proto string, p int) {
+		res := runOrFail(t, testOpts(proto, p), counterApp(n))
+		want := float64(p * n)
+		if res.Data[0] != want {
+			t.Fatalf("counter = %v, want %v", res.Data[0], want)
+		}
+	})
+}
+
+// --------------------------------------------------------------------------
+// Litmus: visibility across a barrier (producer/consumers).
+
+func barrierVisApp(words int) *testApp {
+	var addr mem.Addr
+	var sum mem.Addr
+	return &testApp{
+		name: "barriervis",
+		setup: func(s *Setup) {
+			addr = s.Alloc(words)
+			sum = s.Alloc(64) // one word per proc, padded pages apart
+		},
+		init: func(w *Init) {
+			for i := 0; i < words; i++ {
+				w.Store(addr+mem.Addr(i), 0)
+			}
+		},
+		worker: func(c *Ctx, id int) {
+			if id == 0 {
+				for i := 0; i < words; i++ {
+					c.Store(addr+mem.Addr(i), float64(i+1))
+				}
+			}
+			c.Barrier(0)
+			s := 0.0
+			for i := 0; i < words; i++ {
+				s += c.Load(addr + mem.Addr(i))
+			}
+			c.Store(sum+mem.Addr(id), s)
+			c.Barrier(1)
+		},
+		gather: func(c *Ctx) []float64 {
+			out := make([]float64, c.NumProcs())
+			for i := range out {
+				out[i] = c.Load(sum + mem.Addr(i))
+			}
+			return out
+		},
+	}
+}
+
+func TestBarrierVisibility(t *testing.T) {
+	const words = 300 // spans several 512-byte pages
+	want := float64(words * (words + 1) / 2)
+	forEachProto(t, []int{2, 5}, func(t *testing.T, proto string, p int) {
+		res := runOrFail(t, testOpts(proto, p), barrierVisApp(words))
+		for i, s := range res.Data {
+			if s != want {
+				t.Fatalf("proc %d read sum %v, want %v", i, s, want)
+			}
+		}
+	})
+}
+
+// --------------------------------------------------------------------------
+// Litmus: concurrent multiple writers on one page (false sharing) merge.
+
+func multiWriterApp() *testApp {
+	var addr mem.Addr
+	return &testApp{
+		name:  "multiwriter",
+		setup: func(s *Setup) { addr = s.Alloc(64) },
+		init: func(w *Init) {
+			for i := 0; i < 64; i++ {
+				w.Store(addr+mem.Addr(i), -1)
+			}
+		},
+		worker: func(c *Ctx, id int) {
+			c.Barrier(0)
+			// All procs write disjoint words of the same page concurrently.
+			for i := id; i < 64; i += c.NumProcs() {
+				c.Store(addr+mem.Addr(i), float64(100*id+i))
+			}
+			c.Barrier(1)
+			// Every proc must observe every other proc's words.
+			for i := 0; i < 64; i++ {
+				want := float64(100*(i%c.NumProcs()) + i)
+				if got := c.Load(addr + mem.Addr(i)); got != want {
+					panic(fmt.Sprintf("proc %d: word %d = %v, want %v", id, i, got, want))
+				}
+			}
+			c.Barrier(2)
+		},
+		gather: func(c *Ctx) []float64 {
+			out := make([]float64, 64)
+			c.ReadRange(addr, out)
+			return out
+		},
+	}
+}
+
+func TestMultiWriterMerge(t *testing.T) {
+	forEachProto(t, []int{2, 4, 8}, func(t *testing.T, proto string, p int) {
+		res := runOrFail(t, testOpts(proto, p), multiWriterApp())
+		for i, v := range res.Data {
+			want := float64(100*(i%p) + i)
+			if v != want {
+				t.Fatalf("word %d = %v, want %v", i, v, want)
+			}
+		}
+	})
+}
+
+// --------------------------------------------------------------------------
+// Litmus: migratory data through a lock chain.
+
+func migratoryApp(rounds int) *testApp {
+	var addr mem.Addr
+	return &testApp{
+		name:  "migratory",
+		setup: func(s *Setup) { addr = s.Alloc(32) },
+		init: func(w *Init) {
+			for i := 0; i < 32; i++ {
+				w.Store(addr+mem.Addr(i), 0)
+			}
+		},
+		worker: func(c *Ctx, id int) {
+			for r := 0; r < rounds; r++ {
+				c.Lock(3)
+				for i := 0; i < 32; i++ {
+					c.Store(addr+mem.Addr(i), c.Load(addr+mem.Addr(i))+1)
+				}
+				c.Unlock(3)
+				c.Compute(50 * sim.Microsecond)
+			}
+			c.Barrier(0)
+		},
+		gather: func(c *Ctx) []float64 {
+			out := make([]float64, 32)
+			c.ReadRange(addr, out)
+			return out
+		},
+	}
+}
+
+func TestMigratoryData(t *testing.T) {
+	const rounds = 5
+	forEachProto(t, []int{3, 6}, func(t *testing.T, proto string, p int) {
+		res := runOrFail(t, testOpts(proto, p), migratoryApp(rounds))
+		want := float64(rounds * p)
+		for i, v := range res.Data {
+			if v != want {
+				t.Fatalf("word %d = %v, want %v", i, v, want)
+			}
+		}
+	})
+}
+
+// --------------------------------------------------------------------------
+// Litmus: causal chain through different locks (transitive ordering).
+
+func causalChainApp() *testApp {
+	var x, y, out mem.Addr
+	return &testApp{
+		name: "causal",
+		setup: func(s *Setup) {
+			x = s.Alloc(1)
+			y = s.Alloc(1)
+			out = s.Alloc(1)
+		},
+		init: func(w *Init) { w.Store(x, 0); w.Store(y, 0); w.Store(out, 0) },
+		worker: func(c *Ctx, id int) {
+			switch id {
+			case 0:
+				c.Lock(1)
+				c.Store(x, 41)
+				c.Unlock(1)
+			case 1:
+				// Wait until x is set (via lock 1), then publish via lock 2.
+				for {
+					c.Lock(1)
+					v := c.Load(x)
+					c.Unlock(1)
+					if v != 0 {
+						break
+					}
+					c.Compute(20 * sim.Microsecond)
+				}
+				c.Lock(2)
+				c.Store(y, 1)
+				c.Unlock(2)
+			case 2:
+				// Once y is visible via lock 2, x must be visible too
+				// (causality through proc 1).
+				for {
+					c.Lock(2)
+					v := c.Load(y)
+					c.Unlock(2)
+					if v != 0 {
+						break
+					}
+					c.Compute(20 * sim.Microsecond)
+				}
+				c.Store(out, c.Load(x)+1)
+			}
+			c.Barrier(0)
+		},
+		gather: func(c *Ctx) []float64 { return []float64{c.Load(out)} },
+	}
+}
+
+func TestCausalChain(t *testing.T) {
+	for _, proto := range Protocols {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			res := runOrFail(t, testOpts(proto, 3), causalChainApp())
+			if res.Data[0] != 42 {
+				t.Fatalf("out = %v, want 42 (causal ordering violated)", res.Data[0])
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------------------
+// Garbage collection correctness (homeless protocols).
+
+func TestGCPreservesData(t *testing.T) {
+	for _, proto := range []string{ProtoLRC, ProtoOLRC} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			opts := testOpts(proto, 4)
+			opts.GCThreshold = 1 // force GC at every barrier
+			app := &testApp{name: "gc"}
+			var addr mem.Addr
+			const words = 256
+			app.setup = func(s *Setup) { addr = s.Alloc(words) }
+			app.init = func(w *Init) {
+				for i := 0; i < words; i++ {
+					w.Store(addr+mem.Addr(i), 0)
+				}
+			}
+			app.worker = func(c *Ctx, id int) {
+				for round := 0; round < 4; round++ {
+					c.Barrier(2 * round)
+					for i := id; i < words; i += c.NumProcs() {
+						c.Store(addr+mem.Addr(i), c.Load(addr+mem.Addr(i))+float64(id+1))
+					}
+					c.Barrier(2*round + 1)
+				}
+				c.Barrier(100)
+			}
+			app.gather = func(c *Ctx) []float64 {
+				out := make([]float64, words)
+				c.ReadRange(addr, out)
+				return out
+			}
+			res := runOrFail(t, opts, app)
+			for i, v := range res.Data {
+				want := 4 * float64(i%4+1)
+				if v != want {
+					t.Fatalf("word %d = %v, want %v", i, v, want)
+				}
+			}
+			// GC must actually have run.
+			gcs := int64(0)
+			for _, nd := range res.Stats.Nodes {
+				gcs += nd.Counts.GCs
+			}
+			if gcs == 0 {
+				t.Fatal("GC never triggered despite threshold 1")
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------------------
+// Home effect: a single writer that is also the home creates no diffs.
+
+func TestHomeEffectNoDiffs(t *testing.T) {
+	for _, proto := range []string{ProtoHLRC, ProtoOHLRC} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			app := &testApp{name: "homeeffect"}
+			var addr mem.Addr
+			const words = 128
+			app.setup = func(s *Setup) { addr = s.Alloc(words) }
+			app.init = func(w *Init) {
+				for i := 0; i < words; i++ {
+					w.Store(addr+mem.Addr(i), 1)
+				}
+				w.SetHome(addr, words, 0) // writer 0 is the home
+			}
+			app.worker = func(c *Ctx, id int) {
+				for round := 0; round < 3; round++ {
+					if id == 0 {
+						for i := 0; i < words; i++ {
+							c.Store(addr+mem.Addr(i), float64(round+2))
+						}
+					}
+					c.Barrier(round)
+				}
+				c.Barrier(99)
+			}
+			app.gather = func(c *Ctx) []float64 {
+				out := make([]float64, words)
+				c.ReadRange(addr, out)
+				return out
+			}
+			res := runOrFail(t, testOpts(proto, 4), app)
+			for i, v := range res.Data {
+				if v != 4 {
+					t.Fatalf("word %d = %v, want 4", i, v)
+				}
+			}
+			var created int64
+			for _, nd := range res.Stats.Nodes {
+				created += nd.Counts.DiffsCreated
+			}
+			if created != 0 {
+				t.Fatalf("home effect violated: %d diffs created", created)
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------------------
+// Determinism: identical runs produce identical timing and stats.
+
+func TestRunDeterminism(t *testing.T) {
+	for _, proto := range Protocols {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			r1 := runOrFail(t, testOpts(proto, 4), counterApp(6))
+			r2 := runOrFail(t, testOpts(proto, 4), counterApp(6))
+			if r1.Stats.Elapsed != r2.Stats.Elapsed {
+				t.Fatalf("elapsed differs: %v vs %v", r1.Stats.Elapsed, r2.Stats.Elapsed)
+			}
+			for i := range r1.Stats.Nodes {
+				a, b := r1.Stats.Nodes[i], r2.Stats.Nodes[i]
+				if *a != *b {
+					t.Fatalf("node %d stats differ:\n%+v\n%+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// --------------------------------------------------------------------------
+// Accounting invariants.
+
+func TestBreakdownWithinElapsed(t *testing.T) {
+	forEachProto(t, []int{4}, func(t *testing.T, proto string, p int) {
+		res := runOrFail(t, testOpts(proto, p), migratoryApp(4))
+		for i, nd := range res.Stats.Nodes {
+			if nd.Total() > res.Stats.Elapsed {
+				t.Fatalf("node %d breakdown %v exceeds elapsed %v", i, nd.Total(), res.Stats.Elapsed)
+			}
+		}
+	})
+}
+
+func TestProtoMemReturnsToSmall(t *testing.T) {
+	// After a run with forced GC, homeless protocol memory should have
+	// been mostly released (twins, diffs); peak must exceed final.
+	opts := testOpts(ProtoLRC, 4)
+	opts.GCThreshold = 1
+	res := runOrFail(t, opts, migratoryApp(6))
+	for i, nd := range res.Stats.Nodes {
+		if nd.ProtoMem < 0 {
+			t.Fatalf("node %d negative protocol memory", i)
+		}
+		if nd.ProtoMemPeak < nd.ProtoMem {
+			t.Fatalf("node %d peak below current", i)
+		}
+	}
+}
+
+func TestSequentialBaseline(t *testing.T) {
+	res := runOrFail(t, testOpts(ProtoSeq, 1), counterApp(10))
+	if res.Data[0] != 10 {
+		t.Fatalf("seq counter = %v", res.Data[0])
+	}
+	nd := res.Stats.Nodes[0]
+	if nd.Counts.ReadMisses != 0 || nd.Counts.DiffsCreated != 0 {
+		t.Fatalf("sequential run performed protocol work: %+v", nd.Counts)
+	}
+	for _, c := range []stats.Category{stats.CatData, stats.CatLock, stats.CatBarrier, stats.CatProtocol, stats.CatGC} {
+		if nd.Time[c] != 0 {
+			t.Fatalf("sequential run charged %v to %v", nd.Time[c], c)
+		}
+	}
+}
+
+func TestSeqRequiresOneProc(t *testing.T) {
+	_, err := Run(Options{Protocol: ProtoSeq, NumProcs: 2, PageBytes: 512}, counterApp(1), false)
+	if err == nil {
+		t.Fatal("seq with 2 procs did not error")
+	}
+}
+
+// --------------------------------------------------------------------------
+// Speedup sanity: a perfectly parallel compute-bound app speeds up.
+
+func TestEmbarrassinglyParallelSpeedup(t *testing.T) {
+	mk := func() *testApp {
+		var addr mem.Addr
+		return &testApp{
+			name:  "parallel",
+			setup: func(s *Setup) { addr = s.Alloc(64) },
+			init:  func(w *Init) { w.Store(addr, 0) },
+			worker: func(c *Ctx, id int) {
+				n := 100 / c.NumProcs()
+				for i := 0; i < n; i++ {
+					c.Compute(sim.Millisecond)
+				}
+				c.Store(addr+mem.Addr(id), 1)
+				c.Barrier(0)
+			},
+			gather: func(c *Ctx) []float64 { return []float64{c.Load(addr)} },
+		}
+	}
+	seq := runOrFail(t, testOpts(ProtoSeq, 1), mk())
+	for _, proto := range Protocols {
+		par := runOrFail(t, testOpts(proto, 4), mk())
+		speedup := float64(seq.Stats.Elapsed) / float64(par.Stats.Elapsed)
+		if speedup < 3.0 {
+			t.Fatalf("%s: speedup %0.2f < 3.0 for embarrassingly parallel work", proto, speedup)
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Traffic accounting: messages balance and data flows are classified.
+
+func TestTrafficClassification(t *testing.T) {
+	res := runOrFail(t, testOpts(ProtoHLRC, 4), migratoryApp(4))
+	if res.Stats.TotalBytes(stats.ClassData) == 0 {
+		t.Fatal("no data traffic recorded for migratory workload")
+	}
+	if res.Stats.TotalBytes(stats.ClassProtocol) == 0 {
+		t.Fatal("no protocol traffic recorded")
+	}
+	if res.Stats.TotalMsgs() == 0 {
+		t.Fatal("no messages recorded")
+	}
+}
+
+// --------------------------------------------------------------------------
+// Phase capture (Figure 4 machinery).
+
+func TestPhaseCapture(t *testing.T) {
+	res, err := Run(testOpts(ProtoHLRC, 4), barrierVisApp(64), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) < 2 {
+		t.Fatalf("captured %d phases, want >= 2", len(res.Phases))
+	}
+	for _, ph := range res.Phases {
+		if len(ph.PerNode) != 4 {
+			t.Fatalf("phase has %d nodes", len(ph.PerNode))
+		}
+	}
+}
+
+// --------------------------------------------------------------------------
+// Eager-diff ablation option still yields correct results.
+
+func TestEagerDiffOption(t *testing.T) {
+	opts := testOpts(ProtoLRC, 4)
+	opts.EagerDiff = true
+	res := runOrFail(t, opts, multiWriterApp())
+	for i, v := range res.Data {
+		want := float64(100*(i%4) + i)
+		if v != want {
+			t.Fatalf("word %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+// Round-robin home placement ablation.
+func TestHomeRoundRobinOption(t *testing.T) {
+	opts := testOpts(ProtoHLRC, 4)
+	opts.HomeRoundRobin = true
+	res := runOrFail(t, opts, migratoryApp(4))
+	for _, v := range res.Data {
+		if v != 16 {
+			t.Fatalf("value %v, want 16", v)
+		}
+	}
+}
+
+// OverlapLocks (the §4.3 extension: synchronization serviced by the
+// co-processor) must preserve correctness and cut lock-bound runtime.
+func TestOverlapLocksCorrectAndFaster(t *testing.T) {
+	for _, proto := range []string{ProtoOLRC, ProtoOHLRC} {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
+			base := testOpts(proto, 6)
+			withOL := base
+			withOL.OverlapLocks = true
+
+			r1 := runOrFail(t, base, migratoryApp(5))
+			r2 := runOrFail(t, withOL, migratoryApp(5))
+			want := float64(5 * 6)
+			for i := range r2.Data {
+				if r2.Data[i] != want {
+					t.Fatalf("OverlapLocks broke coherence: word %d = %v, want %v", i, r2.Data[i], want)
+				}
+			}
+			if r2.Stats.Elapsed >= r1.Stats.Elapsed {
+				t.Errorf("OverlapLocks did not speed up a lock-bound run: %v vs %v",
+					r2.Stats.Elapsed, r1.Stats.Elapsed)
+			}
+		})
+	}
+}
+
+// OverlapLocks is ignored for non-overlapped protocols.
+func TestOverlapLocksIgnoredWithoutCoproc(t *testing.T) {
+	opts := testOpts(ProtoHLRC, 4)
+	opts.OverlapLocks = true
+	res := runOrFail(t, opts, counterApp(5))
+	if res.Data[0] != 20 {
+		t.Fatalf("counter = %v", res.Data[0])
+	}
+}
+
+// --------------------------------------------------------------------------
+// AURC emulation.
+
+func TestAURCCorrectness(t *testing.T) {
+	for _, mk := range []func() *testApp{
+		func() *testApp { return counterApp(8) },
+		multiWriterApp,
+		func() *testApp { return migratoryApp(5) },
+		causalChainApp,
+	} {
+		app := mk()
+		t.Run(app.Name(), func(t *testing.T) {
+			p := 4
+			if app.name == "causal" {
+				p = 3
+			}
+			ref := runOrFail(t, testOpts(ProtoHLRC, p), mk())
+			got := runOrFail(t, testOpts(ProtoAURC, p), mk())
+			if len(ref.Data) != len(got.Data) {
+				t.Fatal("result size mismatch")
+			}
+			for i := range ref.Data {
+				if ref.Data[i] != got.Data[i] {
+					t.Fatalf("word %d: aurc %v, hlrc %v", i, got.Data[i], ref.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// AURC must charge no diff-related software cost and create no diffs,
+// while shipping write-through traffic proportional to stores.
+func TestAURCZeroSoftwareOverhead(t *testing.T) {
+	mk := func() *testApp { return migratoryApp(6) }
+	hlrc := runOrFail(t, testOpts(ProtoHLRC, 4), mk())
+	aurc := runOrFail(t, testOpts(ProtoAURC, 4), mk())
+	var aDiffs, hDiffs int64
+	for i := range aurc.Stats.Nodes {
+		aDiffs += aurc.Stats.Nodes[i].Counts.DiffsCreated
+		hDiffs += hlrc.Stats.Nodes[i].Counts.DiffsCreated
+	}
+	if aDiffs != 0 {
+		t.Fatalf("AURC created %d diffs", aDiffs)
+	}
+	if hDiffs == 0 {
+		t.Fatal("HLRC reference created no diffs; test is vacuous")
+	}
+	if aurc.Stats.Elapsed >= hlrc.Stats.Elapsed {
+		t.Errorf("AURC (%v) not faster than HLRC (%v) despite free updates",
+			aurc.Stats.Elapsed, hlrc.Stats.Elapsed)
+	}
+}
+
+// Write-through traffic: a workload that overwrites the same words many
+// times per interval must ship more update bytes under AURC than HLRC.
+func TestAURCWriteThroughTraffic(t *testing.T) {
+	mk := func() *testApp {
+		var addr mem.Addr
+		return &testApp{
+			name:  "rewrites",
+			setup: func(s *Setup) { addr = s.Alloc(16) },
+			init: func(w *Init) {
+				for i := 0; i < 16; i++ {
+					w.Store(addr+mem.Addr(i), 0)
+				}
+				w.SetHome(addr, 16, 0)
+			},
+			worker: func(c *Ctx, id int) {
+				if id == 1 { // non-home writer
+					for rep := 0; rep < 50; rep++ {
+						for i := 0; i < 16; i++ {
+							c.Store(addr+mem.Addr(i), float64(rep+i))
+						}
+					}
+				}
+				c.Barrier(0)
+			},
+			gather: func(c *Ctx) []float64 {
+				out := make([]float64, 16)
+				c.ReadRange(addr, out)
+				return out
+			},
+		}
+	}
+	hlrc := runOrFail(t, testOpts(ProtoHLRC, 2), mk())
+	aurc := runOrFail(t, testOpts(ProtoAURC, 2), mk())
+	hBytes := hlrc.Stats.TotalBytes(stats.ClassData)
+	aBytes := aurc.Stats.TotalBytes(stats.ClassData)
+	if aBytes <= hBytes {
+		t.Fatalf("AURC write-through traffic (%d) not above HLRC diff traffic (%d)", aBytes, hBytes)
+	}
+}
+
+// The mesh network model must preserve coherence while adding link-level
+// contention.
+func TestMeshOptionCorrectness(t *testing.T) {
+	opts := testOpts(ProtoHLRC, 8)
+	opts.Mesh = true
+	res := runOrFail(t, opts, multiWriterApp())
+	for i, v := range res.Data {
+		want := float64(100*(i%8) + i)
+		if v != want {
+			t.Fatalf("word %d = %v, want %v", i, v, want)
+		}
+	}
+	// With contention the run cannot be faster than the crossbar.
+	ref := runOrFail(t, testOpts(ProtoHLRC, 8), multiWriterApp())
+	if res.Stats.Elapsed < ref.Stats.Elapsed {
+		t.Fatalf("mesh run (%v) faster than crossbar (%v)", res.Stats.Elapsed, ref.Stats.Elapsed)
+	}
+}
+
+// Force the OHLRC pending-fetch path: with a huge page, the co-processor
+// diff is still in flight to the home when the next lock holder fetches
+// the page, so the home must park the fetch on the pending list until
+// the diff lands (and must not serve a stale copy).
+func TestOHLRCFetchWaitsForDiff(t *testing.T) {
+	opts := Options{Protocol: ProtoOHLRC, NumProcs: 3, PageBytes: 65536}
+	var addr mem.Addr
+	app := &testApp{
+		name: "pendingfetch",
+		setup: func(s *Setup) {
+			addr = s.Alloc(8192) // one full 64KB page
+		},
+		init: func(w *Init) {
+			for i := 0; i < 8192; i++ {
+				w.Store(addr+mem.Addr(i), 0)
+			}
+			w.SetHome(addr, 8192, 2) // home is neither writer nor reader
+		},
+		worker: func(c *Ctx, id int) {
+			switch id {
+			case 1: // writer: dirty the whole page, then release the lock
+				c.Lock(1)
+				for i := 0; i < 8192; i++ {
+					c.Store(addr+mem.Addr(i), float64(i+1))
+				}
+				c.Unlock(1)
+			case 0: // reader: acquire after the writer and read through
+				c.Compute(2 * sim.Millisecond) // let the writer go first
+				c.Lock(1)
+				if got := c.Load(addr + 4000); got != 4001 {
+					panic(fmt.Sprintf("stale read through home: %v", got))
+				}
+				c.Unlock(1)
+			}
+			c.Barrier(0)
+		},
+		gather: func(c *Ctx) []float64 { return []float64{c.Load(addr + 8191)} },
+	}
+	res := runOrFail(t, opts, app)
+	if res.Data[0] != 8192 {
+		t.Fatalf("final word = %v, want 8192", res.Data[0])
+	}
+}
+
+// Homeless GC with synchronization serviced on the co-processor
+// (OverlapLocks): the kGCDone rendezvous must route correctly.
+func TestGCWithOverlapLocks(t *testing.T) {
+	opts := testOpts(ProtoOLRC, 4)
+	opts.GCThreshold = 1
+	opts.OverlapLocks = true
+	res := runOrFail(t, opts, migratoryApp(6))
+	for i, v := range res.Data {
+		if v != 24 {
+			t.Fatalf("word %d = %v, want 24", i, v)
+		}
+	}
+	var gcs int64
+	for _, nd := range res.Stats.Nodes {
+		gcs += nd.Counts.GCs
+	}
+	if gcs == 0 {
+		t.Fatal("GC never ran")
+	}
+}
+
+// A page whose entire diff chain lives at the last writer must be
+// recoverable by a node that never saw the page (diff caching +
+// full-copy fetch with applied-interval vector).
+func TestLRCLateReaderSeesChain(t *testing.T) {
+	var addr mem.Addr
+	app := &testApp{
+		name:  "latereader",
+		setup: func(s *Setup) { addr = s.Alloc(16) },
+		init: func(w *Init) {
+			for i := 0; i < 16; i++ {
+				w.Store(addr+mem.Addr(i), 0)
+			}
+		},
+		worker: func(c *Ctx, id int) {
+			// Nodes 0..2 take turns extending the chain; node 3 reads only
+			// at the very end, needing the whole history.
+			if id < 3 {
+				for r := 0; r < 4; r++ {
+					c.Lock(9)
+					for i := 0; i < 16; i++ {
+						c.Store(addr+mem.Addr(i), c.Load(addr+mem.Addr(i))+1)
+					}
+					c.Unlock(9)
+				}
+			}
+			c.Barrier(0)
+			if id == 3 {
+				for i := 0; i < 16; i++ {
+					if got := c.Load(addr + mem.Addr(i)); got != 12 {
+						panic(fmt.Sprintf("late reader: word %d = %v, want 12", i, got))
+					}
+				}
+			}
+			c.Barrier(1)
+		},
+		gather: func(c *Ctx) []float64 {
+			out := make([]float64, 16)
+			c.ReadRange(addr, out)
+			return out
+		},
+	}
+	runOrFail(t, testOpts(ProtoLRC, 4), app)
+}
+
+// Lock re-entry and unlocked release must panic (API misuse detection).
+func TestLockMisusePanics(t *testing.T) {
+	mustPanic := func(name string, worker func(c *Ctx, id int)) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			app := &testApp{
+				name:   name,
+				setup:  func(s *Setup) { s.Alloc(1) },
+				init:   func(w *Init) {},
+				worker: worker,
+				gather: func(c *Ctx) []float64 { return nil },
+			}
+			_, _ = Run(testOpts(ProtoHLRC, 2), app, false)
+		})
+	}
+	mustPanic("reentry", func(c *Ctx, id int) {
+		if id == 0 {
+			c.Lock(1)
+			c.Lock(1)
+		}
+		c.Barrier(0)
+	})
+	mustPanic("bare-unlock", func(c *Ctx, id int) {
+		if id == 0 {
+			c.Unlock(2)
+		}
+		c.Barrier(0)
+	})
+}
+
+// Missing final barrier (dirty pages at exit) must be caught by Finish.
+func TestMissingFinalBarrierPanics(t *testing.T) {
+	var addr mem.Addr
+	app := &testApp{
+		name:  "nobarrier",
+		setup: func(s *Setup) { addr = s.Alloc(4) },
+		init:  func(w *Init) { w.Store(addr, 0) },
+		worker: func(c *Ctx, id int) {
+			c.Store(addr+mem.Addr(id), 1)
+			// No barrier: updates never flushed.
+		},
+		gather: func(c *Ctx) []float64 { return nil },
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing final barrier not detected")
+		}
+	}()
+	_, _ = Run(testOpts(ProtoHLRC, 2), app, false)
+}
+
+// --------------------------------------------------------------------------
+// Protocol event tracing.
+
+func TestTraceCapturesProtocolEvents(t *testing.T) {
+	opts := testOpts(ProtoHLRC, 4)
+	opts.TraceLimit = -1
+	res := runOrFail(t, opts, migratoryApp(4))
+	tr := res.Trace
+	if tr.Len() == 0 {
+		t.Fatal("no events captured")
+	}
+	counts := tr.Counts()
+	for _, k := range []trace.Kind{trace.ReadMiss, trace.WriteFault, trace.PageFetch,
+		trace.DiffCreate, trace.DiffFlush, trace.DiffApply, trace.Invalidate,
+		trace.LockAcquire, trace.LockGrant, trace.BarrierEnter, trace.BarrierExit} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events captured", k)
+		}
+	}
+	// Events are time-ordered.
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("events out of order at %d: %v then %v", i, evs[i-1], evs[i])
+		}
+	}
+	// Every grant follows an acquire of the same lock on the same node.
+	for _, g := range tr.ByKind(trace.LockGrant) {
+		found := false
+		for _, a := range tr.ByKind(trace.LockAcquire) {
+			if a.Node == g.Node && a.Arg == g.Arg && a.T <= g.T {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("grant without acquire: %v", g)
+		}
+	}
+}
+
+func TestTraceGCEvents(t *testing.T) {
+	opts := testOpts(ProtoLRC, 4)
+	opts.TraceLimit = -1
+	opts.GCThreshold = 1
+	res := runOrFail(t, opts, migratoryApp(4))
+	c := res.Trace.Counts()
+	if c[trace.GCStart] == 0 || c[trace.GCStart] != c[trace.GCEnd] {
+		t.Fatalf("gc events unbalanced: start=%d end=%d", c[trace.GCStart], c[trace.GCEnd])
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	res := runOrFail(t, testOpts(ProtoHLRC, 2), counterApp(3))
+	if res.Trace.Len() != 0 {
+		t.Fatal("trace captured events without being enabled")
+	}
+}
+
+func TestTraceLimitRespected(t *testing.T) {
+	opts := testOpts(ProtoHLRC, 4)
+	opts.TraceLimit = 10
+	res := runOrFail(t, opts, migratoryApp(4))
+	if res.Trace.Len() != 10 {
+		t.Fatalf("trace len = %d, want 10", res.Trace.Len())
+	}
+}

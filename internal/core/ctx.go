@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// Ctx is the per-processor view of the shared virtual memory, passed to
+// application workers. It provides the Splash-2 programming interface:
+// shared loads and stores (with software page-fault handling), LOCK /
+// UNLOCK / BARRIER, and explicit computation charging.
+type Ctx struct {
+	sys  *System
+	eng  Engine
+	pt   *mem.Table
+	proc *sim.Proc
+	id   int
+	pw   int // words per page
+}
+
+func newCtx(sys *System, id int, p *sim.Proc) *Ctx {
+	return &Ctx{
+		sys:  sys,
+		eng:  sys.Engines[id],
+		pt:   sys.Tables[id],
+		proc: p,
+		id:   id,
+		pw:   sys.Space.PageWords,
+	}
+}
+
+// ID returns this processor's index.
+func (c *Ctx) ID() int { return c.id }
+
+// NumProcs returns the machine size.
+func (c *Ctx) NumProcs() int { return c.sys.Opts.NumProcs }
+
+// Now returns the current simulated time.
+func (c *Ctx) Now() sim.Time { return c.proc.Now() }
+
+// Compute charges d of application computation.
+func (c *Ctx) Compute(d sim.Time) {
+	c.sys.M.Nodes[c.id].CPU.Use(c.proc, d, stats.CatCompute)
+}
+
+// Load reads one shared word.
+func (c *Ctx) Load(a mem.Addr) float64 {
+	pg := int(int64(a) / int64(c.pw))
+	p := c.pt.Page(pg)
+	if p.State == mem.Invalid {
+		c.eng.ReadFault(pg)
+	}
+	return p.Data[int(int64(a)%int64(c.pw))]
+}
+
+// Store writes one shared word.
+func (c *Ctx) Store(a mem.Addr, v float64) {
+	pg := int(int64(a) / int64(c.pw))
+	p := c.pt.Page(pg)
+	if p.State != mem.ReadWrite {
+		c.eng.WriteFault(pg)
+	}
+	p.Data[int(int64(a)%int64(c.pw))] = v
+	p.Stores++
+}
+
+// LoadI reads an integer-valued shared word.
+func (c *Ctx) LoadI(a mem.Addr) int64 { return int64(c.Load(a)) }
+
+// StoreI writes an integer-valued shared word. Values must be exactly
+// representable in a float64 (|v| < 2^53).
+func (c *Ctx) StoreI(a mem.Addr, v int64) { c.Store(a, float64(v)) }
+
+// ReadRange copies len(dst) shared words starting at a into dst, faulting
+// pages in as needed. It is the bulk fast path for numeric kernels.
+func (c *Ctx) ReadRange(a mem.Addr, dst []float64) {
+	for len(dst) > 0 {
+		pg := int(int64(a) / int64(c.pw))
+		off := int(int64(a) % int64(c.pw))
+		p := c.pt.Page(pg)
+		if p.State == mem.Invalid {
+			c.eng.ReadFault(pg)
+		}
+		n := copy(dst, p.Data[off:])
+		dst = dst[n:]
+		a += mem.Addr(n)
+	}
+}
+
+// WriteRange copies src into shared memory starting at a.
+func (c *Ctx) WriteRange(a mem.Addr, src []float64) {
+	for len(src) > 0 {
+		pg := int(int64(a) / int64(c.pw))
+		off := int(int64(a) % int64(c.pw))
+		p := c.pt.Page(pg)
+		if p.State != mem.ReadWrite {
+			c.eng.WriteFault(pg)
+		}
+		n := copy(p.Data[off:], src)
+		p.Stores += n
+		src = src[n:]
+		a += mem.Addr(n)
+	}
+}
+
+// Lock acquires the given lock (Splash-2 LOCK).
+func (c *Ctx) Lock(l int) { c.eng.Acquire(l) }
+
+// Unlock releases the given lock (Splash-2 UNLOCK).
+func (c *Ctx) Unlock(l int) { c.eng.Release(l) }
+
+// Barrier waits until all processors arrive (Splash-2 BARRIER).
+func (c *Ctx) Barrier(id int) { c.eng.Barrier(id) }
+
+// assertAddr panics on out-of-range addresses (used by tests).
+func (c *Ctx) assertAddr(a mem.Addr) {
+	if int64(a) < 0 || int64(a) >= c.sys.Space.Used() {
+		panic(fmt.Sprintf("core: address %d out of allocated range", a))
+	}
+}

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"fmt"
+
+	"gosvm/internal/mem"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+	"gosvm/internal/trace"
+	"gosvm/internal/vc"
+)
+
+// hlrcEngine implements Home-based LRC (HLRC) and its overlapped variant
+// OHLRC. Every page has a home; writers flush diffs to the home at the
+// end of each interval and discard them immediately; faulting nodes fetch
+// whole pages from the home in a single round trip.
+// Under the AURC emulation (aurc flag) the same engine models the
+// Automatic Update Release Consistency protocol HLRC derives from: the
+// SHRIMP automatic-update hardware snoops writes off the memory bus and
+// propagates them to the home with zero software overhead. Twins and
+// diffs become free (the twin is kept purely to identify the words to
+// ship in the simulation), update traffic is proportional to the number
+// of *stores* rather than distinct modified words (no combining), and
+// updates land in home memory through the network interface with no
+// receive interrupt and no apply cost.
+type hlrcEngine struct {
+	base
+	overlapped bool
+	aurc       bool
+	pages      []hlrcPage
+}
+
+// hlrcPage is per-page protocol state on one node.
+type hlrcPage struct {
+	// seen[j] is the highest interval of writer j whose updates this node
+	// is required to observe (from write notices) or has incorporated
+	// (from a home fetch). Nil means all-zero. This is the "vector of
+	// lock timestamps" sent with fetch requests.
+	seen vc.VC
+
+	// Home-side state (only on the page's home node):
+	flushVC      vc.VC         // highest interval applied per writer
+	pendingDiff  []*diffFlush  // diffs awaiting causal predecessors
+	pendingFetch []paragon.Msg // fetches awaiting flush coverage
+	waiters      []*sim.Proc   // local accesses waiting for coverage
+
+	// Overlapped: a diff for this page is being computed on the coproc;
+	// the twin is in use and the next write must wait.
+	inflight   bool
+	twinWaiter []*sim.Proc
+}
+
+type fetchPageReq struct {
+	Page int
+	Need vc.VC
+}
+
+type fetchPageResp struct {
+	Data    []float64
+	FlushVC vc.VC
+}
+
+type diffFlush struct {
+	Page     int
+	Writer   int
+	Interval int32
+	Dep      vc.VC // per-page dependency: intervals that must be applied first
+	Diff     mem.Diff
+}
+
+type makeDiffReq struct {
+	Page     int
+	Interval int32
+	Dep      vc.VC
+}
+
+func newHLRCEngine(sys *System, self int, overlapped bool) *hlrcEngine {
+	return newHomeEngine(sys, self, overlapped, false)
+}
+
+// newAURCEngine returns the automatic-update emulation.
+func newAURCEngine(sys *System, self int) *hlrcEngine {
+	return newHomeEngine(sys, self, false, true)
+}
+
+func newHomeEngine(sys *System, self int, overlapped, aurc bool) *hlrcEngine {
+	e := &hlrcEngine{overlapped: overlapped, aurc: aurc}
+	e.base.init(sys, self, e)
+	e.pages = make([]hlrcPage, sys.Space.NumPages())
+	e.node.InstallCompute(e.handleCompute)
+	e.node.InstallCoproc(e.handleCoproc)
+	return e
+}
+
+func (e *hlrcEngine) home(page int) int { return e.sys.homes[page] }
+
+// dataTarget is where data-plane requests (fetches, diff flushes) go.
+func (e *hlrcEngine) dataTarget() paragon.Target {
+	if e.overlapped {
+		return paragon.ToCoproc
+	}
+	return paragon.ToCompute
+}
+
+// seenOf returns the page's requirement vector, allocating lazily.
+func (e *hlrcEngine) seenOf(page int) vc.VC {
+	m := &e.pages[page]
+	if m.seen == nil {
+		m.seen = vc.New(e.sys.Opts.NumProcs)
+		e.st().MemAlloc(int64(m.seen.WireSize()))
+	}
+	return m.seen
+}
+
+func (e *hlrcEngine) flushOf(page int) vc.VC {
+	m := &e.pages[page]
+	if m.flushVC == nil {
+		m.flushVC = vc.New(e.sys.Opts.NumProcs)
+		e.st().MemAlloc(int64(m.flushVC.WireSize()))
+	}
+	return m.flushVC
+}
+
+func covers(v, need vc.VC) bool {
+	if need == nil {
+		return true
+	}
+	if v == nil {
+		for _, x := range need {
+			if x > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return v.Covers(need)
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+func (e *hlrcEngine) ReadFault(page int) {
+	e.use(e.costs().PageFault, stats.CatData)
+	e.st().Counts.ReadMisses++
+	e.emit(trace.ReadMiss, page, -1, 0)
+	if e.home(page) == e.self {
+		// The home's copy is always present; an "invalid" state here just
+		// means required diffs are still in flight. Wait for coverage.
+		m := &e.pages[page]
+		t0 := e.app().Now()
+		for !covers(m.flushVC, m.seen) {
+			m.waiters = append(m.waiters, e.app())
+			e.app().Park(fmt.Sprintf("hlrc home wait page %d", page))
+		}
+		e.pt.Page(page).State = mem.ReadOnly
+		e.st().Add(stats.CatData, e.app().Now()-t0)
+		return
+	}
+	m := &e.pages[page]
+	t0 := e.app().Now()
+	resp := e.node.Call(e.app(), e.home(page), paragon.Msg{
+		Kind:   kFetchPage,
+		Size:   8 + e.clock.WireSize(),
+		Class:  stats.ClassProtocol,
+		Target: e.dataTarget(),
+		// Need must be a snapshot: the live vector can grow while the
+		// request waits on the home's pending list.
+		Body: &fetchPageReq{Page: page, Need: m.seen.Copy()},
+	})
+	e.st().Add(stats.CatData, e.app().Now()-t0)
+	pr := resp.Body.(*fetchPageResp)
+	p := e.pt.Materialize(page)
+	copy(p.Data, pr.Data)
+	p.State = mem.ReadOnly
+	seen := e.seenOf(page)
+	seen.MaxWith(pr.FlushVC)
+	e.st().Counts.PagesFetched++
+	e.emit(trace.PageFetch, page, e.home(page), 0)
+}
+
+func (e *hlrcEngine) WriteFault(page int) {
+	p := e.pt.Page(page)
+	if p.State == mem.Invalid {
+		e.ReadFault(page)
+	}
+	m := &e.pages[page]
+	for m.inflight {
+		// Overlapped: the twin is still feeding the co-processor's diff.
+		m.twinWaiter = append(m.twinWaiter, e.app())
+		e.app().Park(fmt.Sprintf("hlrc twin busy page %d", page))
+	}
+	e.use(e.costs().PageFault, stats.CatProtocol)
+	e.st().Counts.WriteFaults++
+	e.emit(trace.WriteFault, page, -1, 0)
+	if e.home(page) != e.self {
+		if e.aurc {
+			// Automatic update: the fault only establishes the AU
+			// mapping. The twin exists solely so the simulation knows
+			// which words the hardware shipped; it costs nothing.
+			e.use(e.costs().PageProtect, stats.CatProtocol)
+			p.MakeTwin()
+		} else {
+			e.use(e.costs().TwinCost(e.sys.Space.PageBytes()), stats.CatProtocol)
+			p.MakeTwin()
+			e.st().MemAlloc(int64(e.sys.Space.PageBytes()))
+		}
+	}
+	p.Stores = 0
+	p.State = mem.ReadWrite
+	e.markDirty(page)
+}
+
+// ---------------------------------------------------------------------------
+// Interval closing
+
+func (e *hlrcEngine) closeCost() sim.Time {
+	var cost sim.Time
+	for _, pg := range e.dirty {
+		cost += e.costs().PageProtect
+		if e.home(int(pg)) == e.self || e.aurc {
+			continue // home pages and automatic update: no diffing work
+		}
+		if e.overlapped {
+			cost += e.costs().CoprocPost
+		} else {
+			cost += e.costs().DiffCreateCost(e.sys.Space.PageWords)
+		}
+	}
+	return cost
+}
+
+func (e *hlrcEngine) closeCommit() {
+	if len(e.dirty) == 0 {
+		return
+	}
+	rec := e.newIntervalRec()
+	for _, pg32 := range rec.Pages {
+		pg := int(pg32)
+		p := e.pt.Page(pg)
+		p.State = mem.ReadOnly
+		m := &e.pages[pg]
+		dep := e.pages[pg].seen.Copy() // nil-safe: Copy of nil is empty
+		if dep == nil {
+			dep = vc.New(e.sys.Opts.NumProcs)
+		}
+		seen := e.seenOf(pg)
+		if e.home(pg) == e.self {
+			f := e.flushOf(pg)
+			f[e.self] = rec.Interval
+			seen[e.self] = rec.Interval
+			e.homeDrain(pg)
+			continue
+		}
+		seen[e.self] = rec.Interval
+		if e.aurc {
+			// The hardware already streamed the writes home; the message
+			// models their aggregate write-through traffic.
+			diff := mem.ComputeDiff(pg, p.Twin, p.Data)
+			stores := p.Stores
+			p.Stores = 0
+			p.DropTwin()
+			e.sendAUUpdate(&diffFlush{
+				Page: pg, Writer: e.self, Interval: rec.Interval, Dep: dep, Diff: diff,
+			}, stores)
+			continue
+		}
+		if e.overlapped {
+			m.inflight = true
+			e.node.InjectCoproc(paragon.Msg{
+				Kind: kMakeDiff,
+				Body: &makeDiffReq{Page: pg, Interval: rec.Interval, Dep: dep},
+			})
+			continue
+		}
+		diff := mem.ComputeDiff(pg, p.Twin, p.Data)
+		p.DropTwin()
+		e.st().MemFree(int64(e.sys.Space.PageBytes()))
+		e.st().Counts.DiffsCreated++
+		e.emit(trace.DiffCreate, pg, -1, int64(diff.WireSize()))
+		e.sendDiff(&diffFlush{
+			Page: pg, Writer: e.self, Interval: rec.Interval, Dep: dep, Diff: diff,
+		})
+	}
+}
+
+// sendAUUpdate ships an automatic-update flush: sized by store count
+// (write-through, no combining), delivered straight into home memory via
+// the network interface (no interrupt, no software apply).
+func (e *hlrcEngine) sendAUUpdate(df *diffFlush, stores int) {
+	e.node.Send(e.home(df.Page), paragon.Msg{
+		Kind:   kDiffFlush,
+		Size:   8*stores + df.Dep.WireSize(),
+		Class:  stats.ClassData,
+		Target: paragon.ToCoproc,
+		Body:   df,
+	})
+}
+
+// sendDiff transmits a diff to its home (from compute or coproc context;
+// traffic is charged to this node either way).
+func (e *hlrcEngine) sendDiff(df *diffFlush) {
+	e.emit(trace.DiffFlush, df.Page, e.home(df.Page), int64(df.Diff.WireSize()))
+	e.node.Send(e.home(df.Page), paragon.Msg{
+		Kind:   kDiffFlush,
+		Size:   df.Diff.WireSize() + df.Dep.WireSize(),
+		Class:  stats.ClassData,
+		Target: e.dataTarget(),
+		Body:   df,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Write notices
+
+func (e *hlrcEngine) noticePage(rec *IntervalRec, page int) sim.Time {
+	seen := e.seenOf(page)
+	if rec.Interval > seen[rec.Proc] {
+		seen[rec.Proc] = rec.Interval
+	}
+	p := e.pt.Page(page)
+	if e.home(page) == e.self {
+		// The home never discards its copy; accesses wait for coverage.
+		if !covers(e.pages[page].flushVC, seen) && p.State != mem.ReadWrite {
+			p.State = mem.Invalid
+			return e.costs().PageInval
+		}
+		return 0
+	}
+	if p.State == mem.Invalid {
+		return 0
+	}
+	p.State = mem.Invalid
+	e.emit(trace.Invalidate, page, rec.Proc, 0)
+	return e.costs().PageInval
+}
+
+func (e *hlrcEngine) onBarrierRelease(g *grantInfo) {
+	// After a barrier every node knows every interval up to the merged
+	// clock; write-notice records older than that can never be requested
+	// again. This is why the home-based protocols need no garbage
+	// collection.
+	e.pruneLogThrough(g.VC)
+}
+
+func (e *hlrcEngine) protoMem() int64 { return e.st().ProtoMem }
+
+// ---------------------------------------------------------------------------
+// Message handlers
+
+func (e *hlrcEngine) handleCompute(m paragon.Msg) (sim.Time, func()) {
+	switch m.Kind {
+	case kLockAcq:
+		return e.handleLockAcq(m)
+	case kLockFwd:
+		return e.handleLockFwd(m)
+	case kBarrier:
+		return e.handleBarrier(m)
+	case kFetchPage:
+		return e.handleFetchPage(m)
+	case kDiffFlush:
+		return e.handleDiffFlush(m)
+	}
+	return badKind(m.Kind)
+}
+
+func (e *hlrcEngine) handleCoproc(m paragon.Msg) (sim.Time, func()) {
+	switch m.Kind {
+	case kMakeDiff:
+		return e.handleMakeDiff(m)
+	case kFetchPage:
+		return e.handleFetchPage(m)
+	case kDiffFlush:
+		return e.handleDiffFlush(m)
+	// Synchronization service lands here under the OverlapLocks
+	// extension (§4.3's "moved to the co-processor").
+	case kLockAcq:
+		return e.handleLockAcq(m)
+	case kLockFwd:
+		return e.handleLockFwd(m)
+	case kBarrier:
+		return e.handleBarrier(m)
+	}
+	return badKind(m.Kind)
+}
+
+// handleMakeDiff runs on the writer's co-processor (OHLRC).
+func (e *hlrcEngine) handleMakeDiff(m paragon.Msg) (sim.Time, func()) {
+	return e.costs().DiffCreateCost(e.sys.Space.PageWords), func() {
+		req := m.Body.(*makeDiffReq)
+		p := e.pt.Page(req.Page)
+		diff := mem.ComputeDiff(req.Page, p.Twin, p.Data)
+		p.DropTwin()
+		e.st().MemFree(int64(e.sys.Space.PageBytes()))
+		e.st().Counts.DiffsCreated++
+		e.emit(trace.DiffCreate, req.Page, -1, int64(diff.WireSize()))
+		pm := &e.pages[req.Page]
+		pm.inflight = false
+		for _, w := range pm.twinWaiter {
+			w.Unpark()
+		}
+		pm.twinWaiter = nil
+		e.sendDiff(&diffFlush{
+			Page: req.Page, Writer: e.self, Interval: req.Interval,
+			Dep: req.Dep, Diff: diff,
+		})
+	}
+}
+
+// handleDiffFlush runs at the home (compute under HLRC, coproc under
+// OHLRC): apply the incoming diff once its causal predecessors are in.
+func (e *hlrcEngine) handleDiffFlush(m paragon.Msg) (sim.Time, func()) {
+	df := m.Body.(*diffFlush)
+	work := e.costs().DiffApplyCost(df.Diff.Words())
+	if e.aurc {
+		work = 0 // the network interface writes home memory directly
+	}
+	return work, func() {
+		e.homeReceiveDiff(df)
+	}
+}
+
+func (e *hlrcEngine) homeReceiveDiff(df *diffFlush) {
+	if e.home(df.Page) != e.self {
+		panic(fmt.Sprintf("core: diff for page %d sent to non-home %d", df.Page, e.self))
+	}
+	f := e.flushOf(df.Page)
+	if !covers(f, df.Dep) {
+		m := &e.pages[df.Page]
+		m.pendingDiff = append(m.pendingDiff, df)
+		return
+	}
+	e.homeApply(df)
+	e.homeDrain(df.Page)
+}
+
+func (e *hlrcEngine) homeApply(df *diffFlush) {
+	p := e.pt.Page(df.Page)
+	df.Diff.Apply(p.Data)
+	f := e.flushOf(df.Page)
+	if df.Interval > f[df.Writer] {
+		f[df.Writer] = df.Interval
+	}
+	e.st().Counts.DiffsApplied++
+	e.emit(trace.DiffApply, df.Page, df.Writer, int64(df.Diff.Words()))
+}
+
+// homeDrain retries pending diffs, fetches, and local waiters for a page
+// after the flush vector advanced.
+func (e *hlrcEngine) homeDrain(page int) {
+	m := &e.pages[page]
+	f := e.flushOf(page)
+	for progress := true; progress; {
+		progress = false
+		for i, df := range m.pendingDiff {
+			if df != nil && covers(f, df.Dep) {
+				m.pendingDiff[i] = nil
+				e.homeApply(df)
+				progress = true
+			}
+		}
+	}
+	live := m.pendingDiff[:0]
+	for _, df := range m.pendingDiff {
+		if df != nil {
+			live = append(live, df)
+		}
+	}
+	m.pendingDiff = live
+
+	keep := m.pendingFetch[:0]
+	for _, req := range m.pendingFetch {
+		fr := req.Body.(*fetchPageReq)
+		if covers(f, fr.Need) {
+			e.respondFetch(req, fr)
+		} else {
+			keep = append(keep, req)
+		}
+	}
+	m.pendingFetch = keep
+
+	if len(m.waiters) > 0 && covers(f, m.seen) {
+		for _, w := range m.waiters {
+			w.Unpark()
+		}
+		m.waiters = nil
+	}
+}
+
+// handleFetchPage runs at the home.
+func (e *hlrcEngine) handleFetchPage(m paragon.Msg) (sim.Time, func()) {
+	return 0, func() {
+		fr := m.Body.(*fetchPageReq)
+		if e.home(fr.Page) != e.self {
+			panic(fmt.Sprintf("core: fetch for page %d at non-home %d", fr.Page, e.self))
+		}
+		if covers(e.pages[fr.Page].flushVC, fr.Need) {
+			e.respondFetch(m, fr)
+			return
+		}
+		pm := &e.pages[fr.Page]
+		pm.pendingFetch = append(pm.pendingFetch, m)
+	}
+}
+
+func (e *hlrcEngine) respondFetch(req paragon.Msg, fr *fetchPageReq) {
+	p := e.pt.Page(fr.Page)
+	data := make([]float64, len(p.Data))
+	copy(data, p.Data)
+	f := e.flushOf(fr.Page)
+	e.node.Respond(req, paragon.Msg{
+		Kind:  kFetchPage,
+		Size:  e.sys.Space.PageBytes() + f.WireSize(),
+		Class: stats.ClassData,
+		Body:  &fetchPageResp{Data: data, FlushVC: f.Copy()},
+	})
+}
+
+// Finish waits out any co-processor diffs still in flight and asserts the
+// engine wound down cleanly.
+func (e *hlrcEngine) Finish() {
+	if len(e.dirty) > 0 {
+		panic(fmt.Sprintf("core: node %d finished with %d dirty pages (missing final barrier?)", e.self, len(e.dirty)))
+	}
+	for pg := range e.pages {
+		m := &e.pages[pg]
+		for m.inflight {
+			m.twinWaiter = append(m.twinWaiter, e.app())
+			e.app().Park(fmt.Sprintf("finish: diff in flight page %d", pg))
+		}
+	}
+	for l, ls := range e.locks {
+		if ls.held {
+			panic(fmt.Sprintf("core: node %d finished holding lock %d", e.self, l))
+		}
+	}
+}

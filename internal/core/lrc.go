@@ -1,0 +1,694 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gosvm/internal/mem"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+	"gosvm/internal/trace"
+	"gosvm/internal/vc"
+)
+
+// lrcEngine implements the standard homeless Lazy Release Consistency
+// protocol (TreadMarks-style) and its overlapped variant OLRC. Updates
+// live as distributed diffs at their writers; faulting nodes collect the
+// diffs named by their write notices and apply them in happens-before
+// order. Diffs and write notices accumulate until a garbage collection,
+// triggered at a barrier when protocol memory exceeds a threshold.
+type lrcEngine struct {
+	base
+	overlapped bool
+	eager      bool
+	pages      []lrcPage
+	// diffs holds the diffs this node created or fetched (TreadMarks
+	// caches fetched diffs so that, for migratory data, a single request
+	// to the last writer returns the whole chain), keyed by
+	// (writer, page, interval) and retained until garbage collection.
+	diffs map[diffKey]*mem.Diff
+}
+
+type diffKey struct {
+	proc     int32
+	page     int32
+	interval int32
+}
+
+// lrcPage is per-page protocol state on one node.
+type lrcPage struct {
+	wns []pageWN // write notices not yet reflected in the local copy
+	// appliedVC[j] is the highest interval of writer j incorporated into
+	// the local Data copy. Nil until a copy exists. Homeless protocols
+	// carry these full per-page vectors — part of their memory story.
+	appliedVC vc.VC
+	// pending is the own closed interval whose diff has not been created
+	// yet (lazy diffing); the twin is still alive.
+	pending *IntervalRec
+	// copyHolder is the node to ask for a full copy.
+	copyHolder int
+	// inflight marks an OLRC diff computation in progress on the coproc.
+	inflight   bool
+	twinWaiter []*sim.Proc
+	// pendingReqs are fetch-diff requests waiting for the inflight diff.
+	pendingReqs []paragon.Msg
+}
+
+type fetchDiffsReq struct {
+	Page      int
+	Procs     []int32 // writer of each requested diff
+	Intervals []int32
+}
+
+type fetchDiffsResp struct {
+	Found []bool     // whether the holder had each requested diff
+	Diffs []mem.Diff // aligned with the request; zero value when !Found
+}
+
+type lrcFetchPageReq struct {
+	Page int
+}
+
+type lrcFetchPageResp struct {
+	Data      []float64 // nil if the holder has no copy
+	AppliedVC vc.VC
+	Hint      int // where to retry when Data is nil
+}
+
+const wnEntryBytes = 24 // per-page write-notice list entry
+
+func newLRCEngine(sys *System, self int, overlapped bool) *lrcEngine {
+	e := &lrcEngine{
+		overlapped: overlapped,
+		eager:      sys.Opts.EagerDiff && !overlapped,
+		diffs:      make(map[diffKey]*mem.Diff),
+	}
+	e.base.init(sys, self, e)
+	e.pages = make([]lrcPage, sys.Space.NumPages())
+	for pg := range e.pages {
+		e.pages[pg].copyHolder = sys.homes[pg] // seed owner
+	}
+	e.node.InstallCompute(e.handleCompute)
+	e.node.InstallCoproc(e.handleCoproc)
+	if self == barrierManager {
+		thr := sys.Opts.GCThreshold
+		sys.gcDecider = func(reports []*barrierReport) bool {
+			for _, rep := range reports {
+				if rep.ProtoMem > thr {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return e
+}
+
+func (e *lrcEngine) dataTarget() paragon.Target {
+	if e.overlapped {
+		return paragon.ToCoproc
+	}
+	return paragon.ToCompute
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+
+func (e *lrcEngine) ReadFault(page int) {
+	e.use(e.costs().PageFault, stats.CatData)
+	e.st().Counts.ReadMisses++
+	e.emit(trace.ReadMiss, page, -1, 0)
+	e.bringUpToDate(page, stats.CatData)
+	e.pt.Page(page).State = mem.ReadOnly
+}
+
+func (e *lrcEngine) WriteFault(page int) {
+	p := e.pt.Page(page)
+	if p.State == mem.Invalid {
+		e.use(e.costs().PageFault, stats.CatData)
+		e.st().Counts.ReadMisses++
+		e.bringUpToDate(page, stats.CatData)
+	} else {
+		e.use(e.costs().PageFault, stats.CatProtocol)
+	}
+	e.st().Counts.WriteFaults++
+	e.emit(trace.WriteFault, page, -1, 0)
+	// A previous interval's lazy diff still owns the twin: materialize it
+	// before re-twinning.
+	e.commitOwnDiff(page, true)
+	e.use(e.costs().TwinCost(e.sys.Space.PageBytes()), stats.CatProtocol)
+	p.MakeTwin()
+	e.st().MemAlloc(int64(e.sys.Space.PageBytes()))
+	p.State = mem.ReadWrite
+	e.markDirty(page)
+}
+
+// bringUpToDate makes the local copy reflect every write notice: fetch a
+// base copy if needed, collect missing diffs from their writers, and apply
+// them in causal order. waitCat classifies the stall time (data transfer
+// during normal faults, GC during garbage-collection validation).
+func (e *lrcEngine) bringUpToDate(page int, waitCat stats.Category) {
+	m := &e.pages[page]
+	e.commitOwnDiff(page, true)
+	p := e.pt.Page(page)
+
+	if p.Data == nil {
+		e.fetchBaseCopy(page, waitCat)
+		p = e.pt.Page(page)
+	}
+	e.ensureAppliedVC(page)
+
+	// Discard notices already reflected in the base copy.
+	live := m.wns[:0]
+	for _, wn := range m.wns {
+		if wn.rec.Interval <= m.appliedVC[wn.rec.Proc] {
+			e.st().MemFree(wnEntryBytes)
+			continue
+		}
+		live = append(live, wn)
+	}
+	m.wns = live
+	if len(m.wns) == 0 {
+		return
+	}
+
+	// Collect missing diffs. Following TreadMarks, ask the most recent
+	// writer first for the entire missing set: for migratory data it has
+	// fetched and cached every earlier diff, so one round trip suffices.
+	// Anything it lacks is requested from the next most recent writer,
+	// and so on — each round is guaranteed to obtain at least the
+	// target's own diffs.
+	for {
+		var missing []int // indexes into m.wns
+		for i := range m.wns {
+			if m.wns[i].diff == nil {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		sort.Slice(missing, func(a, b int) bool {
+			ra, rb := m.wns[missing[a]].rec, m.wns[missing[b]].rec
+			if ra.Interval != rb.Interval {
+				return ra.Interval > rb.Interval
+			}
+			return ra.Proc > rb.Proc
+		})
+		target := m.wns[missing[0]].rec.Proc
+		req := &fetchDiffsReq{Page: page}
+		for _, i := range missing {
+			req.Procs = append(req.Procs, int32(m.wns[i].rec.Proc))
+			req.Intervals = append(req.Intervals, m.wns[i].rec.Interval)
+		}
+		t0 := e.app().Now()
+		resp := e.node.Call(e.app(), target, paragon.Msg{
+			Kind:   kFetchDiffs,
+			Size:   12 + 8*len(req.Intervals),
+			Class:  stats.ClassProtocol,
+			Target: e.dataTarget(),
+			Body:   req,
+		})
+		e.st().Add(waitCat, e.app().Now()-t0)
+		dr := resp.Body.(*fetchDiffsResp)
+		got := 0
+		for j, i := range missing {
+			if !dr.Found[j] {
+				continue
+			}
+			d := dr.Diffs[j]
+			m.wns[i].diff = &d
+			e.cacheDiff(m.wns[i].rec.Proc, page, m.wns[i].rec.Interval, &d)
+			got++
+		}
+		if got == 0 {
+			panic(fmt.Sprintf("core: node %d got no diffs for page %d from writer %d",
+				e.self, page, target))
+		}
+	}
+
+	// Apply in happens-before order.
+	order := make([]vc.Stamp, len(m.wns))
+	for i, wn := range m.wns {
+		order[i] = wn.rec.Stamp()
+	}
+	vc.TopoSort(order)
+	opCat := stats.CatProtocol
+	if waitCat == stats.CatGC {
+		opCat = stats.CatGC
+	}
+	var cost sim.Time
+	for _, s := range order {
+		var wn *pageWN
+		for i := range m.wns {
+			if m.wns[i].rec.Proc == s.Proc && m.wns[i].rec.Interval == s.Interval {
+				wn = &m.wns[i]
+				break
+			}
+		}
+		cost += e.costs().DiffApplyCost(wn.diff.Words())
+		e.emit(trace.DiffApply, page, s.Proc, int64(wn.diff.Words()))
+		wn.diff.Apply(p.Data)
+		if s.Interval > m.appliedVC[s.Proc] {
+			m.appliedVC[s.Proc] = s.Interval
+		}
+		e.st().Counts.DiffsApplied++
+		e.st().MemFree(wnEntryBytes)
+	}
+	e.use(cost, opCat)
+	m.wns = nil
+}
+
+// fetchBaseCopy obtains a full page copy, chasing holder hints.
+func (e *lrcEngine) fetchBaseCopy(page int, waitCat stats.Category) {
+	m := &e.pages[page]
+	holder := m.copyHolder
+	for tries := 0; ; tries++ {
+		if tries > 2*e.sys.Opts.NumProcs {
+			panic(fmt.Sprintf("core: node %d cannot locate a copy of page %d", e.self, page))
+		}
+		t0 := e.app().Now()
+		resp := e.node.Call(e.app(), holder, paragon.Msg{
+			Kind:   kFetchPage,
+			Size:   8,
+			Class:  stats.ClassProtocol,
+			Target: e.dataTarget(),
+			Body:   &lrcFetchPageReq{Page: page},
+		})
+		e.st().Add(waitCat, e.app().Now()-t0)
+		pr := resp.Body.(*lrcFetchPageResp)
+		if pr.Data == nil {
+			holder = pr.Hint
+			continue
+		}
+		p := e.pt.Materialize(page)
+		copy(p.Data, pr.Data)
+		e.ensureAppliedVC(page)
+		copy(m.appliedVC, pr.AppliedVC)
+		m.copyHolder = holder
+		e.st().Counts.PagesFetched++
+		e.emit(trace.PageFetch, page, holder, 0)
+		return
+	}
+}
+
+// ensureAppliedVC lazily allocates the page's applied-interval vector
+// (all zeros: the seed image reflects no intervals).
+func (e *lrcEngine) ensureAppliedVC(page int) {
+	m := &e.pages[page]
+	if m.appliedVC == nil {
+		m.appliedVC = vc.New(e.sys.Opts.NumProcs)
+		e.st().MemAlloc(int64(m.appliedVC.WireSize()))
+	}
+}
+
+// commitOwnDiff materializes the lazy diff of a previously closed interval
+// (and, under OLRC, waits out an in-flight co-processor diff).
+func (e *lrcEngine) commitOwnDiff(page int, charge bool) {
+	m := &e.pages[page]
+	for m.inflight {
+		m.twinWaiter = append(m.twinWaiter, e.app())
+		e.app().Park(fmt.Sprintf("lrc twin busy page %d", page))
+	}
+	if m.pending == nil {
+		return
+	}
+	if charge {
+		e.use(e.costs().DiffCreateCost(e.sys.Space.PageWords), stats.CatProtocol)
+		if m.pending == nil {
+			// A remote fetch materialized the diff while we were charging.
+			return
+		}
+	}
+	e.materializeDiff(page, m.pending.Interval)
+	m.pending = nil
+}
+
+// materializeDiff computes and stores the diff for (page, interval) from
+// the live twin.
+func (e *lrcEngine) materializeDiff(page int, interval int32) {
+	p := e.pt.Page(page)
+	d := mem.ComputeDiff(page, p.Twin, p.Data)
+	p.DropTwin()
+	e.st().MemFree(int64(e.sys.Space.PageBytes()))
+	e.storeDiff(page, interval, &d)
+}
+
+func (e *lrcEngine) storeDiff(page int, interval int32, d *mem.Diff) {
+	e.diffs[diffKey{int32(e.self), int32(page), interval}] = d
+	e.st().MemAlloc(d.MemSize())
+	e.st().Counts.DiffsCreated++
+	e.emit(trace.DiffCreate, page, -1, int64(d.WireSize()))
+}
+
+// cacheDiff retains a fetched diff so later faulting nodes can obtain the
+// whole chain from this node.
+func (e *lrcEngine) cacheDiff(proc, page int, interval int32, d *mem.Diff) {
+	key := diffKey{int32(proc), int32(page), interval}
+	if _, ok := e.diffs[key]; ok {
+		return
+	}
+	e.diffs[key] = d
+	e.st().MemAlloc(d.MemSize())
+}
+
+// ---------------------------------------------------------------------------
+// Interval closing
+
+func (e *lrcEngine) closeCost() sim.Time {
+	var cost sim.Time
+	for range e.dirty {
+		cost += e.costs().PageProtect
+		if e.overlapped {
+			cost += e.costs().CoprocPost
+		} else if e.eager {
+			cost += e.costs().DiffCreateCost(e.sys.Space.PageWords)
+		}
+	}
+	return cost
+}
+
+func (e *lrcEngine) closeCommit() {
+	if len(e.dirty) == 0 {
+		return
+	}
+	rec := e.newIntervalRec()
+	for _, pg32 := range rec.Pages {
+		pg := int(pg32)
+		p := e.pt.Page(pg)
+		p.State = mem.ReadOnly
+		m := &e.pages[pg]
+		switch {
+		case e.overlapped:
+			m.inflight = true
+			e.node.InjectCoproc(paragon.Msg{
+				Kind: kMakeDiff,
+				Body: &makeDiffReq{Page: pg, Interval: rec.Interval},
+			})
+		case e.eager:
+			e.materializeDiff(pg, rec.Interval)
+		default:
+			m.pending = rec
+		}
+		// Our copy now reflects our own new interval.
+		e.ensureAppliedVC(pg)
+		m.appliedVC[e.self] = rec.Interval
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Write notices
+
+func (e *lrcEngine) noticePage(rec *IntervalRec, page int) sim.Time {
+	m := &e.pages[page]
+	m.wns = append(m.wns, pageWN{rec: rec})
+	e.st().MemAlloc(wnEntryBytes)
+	m.copyHolder = rec.Proc // last-writer hint
+	p := e.pt.Page(page)
+	if p.State == mem.Invalid {
+		return 0
+	}
+	p.State = mem.Invalid
+	e.emit(trace.Invalidate, page, rec.Proc, 0)
+	return e.costs().PageInval
+}
+
+func (e *lrcEngine) onBarrierRelease(g *grantInfo) {
+	if g.GC {
+		e.runGC()
+	}
+}
+
+func (e *lrcEngine) protoMem() int64 { return e.st().ProtoMem }
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+
+// runGC implements the homeless protocols' barrier-time garbage
+// collection: the last writer of each page validates it by collecting all
+// outstanding diffs; everyone else invalidates their copy; then all
+// protocol data — diffs, write notices, interval records — is discarded.
+func (e *lrcEngine) runGC() {
+	e.st().Counts.GCs++
+	e.emit(trace.GCStart, -1, -1, 0)
+
+	// All nodes share an identical interval log after the barrier, so
+	// they agree on each page's last writer without communication.
+	type lw struct {
+		proc     int
+		interval int32
+	}
+	last := map[int]lw{}
+	for proc := range e.log {
+		for _, rec := range e.log[proc] {
+			for _, pg := range rec.Pages {
+				cur, ok := last[int(pg)]
+				if !ok || rec.Interval > cur.interval ||
+					(rec.Interval == cur.interval && rec.Proc > cur.proc) {
+					last[int(pg)] = lw{proc: rec.Proc, interval: rec.Interval}
+				}
+			}
+		}
+	}
+
+	for pg := 0; pg < len(e.pages); pg++ {
+		w, ok := last[pg]
+		if !ok {
+			continue // untouched since the previous collection
+		}
+		m := &e.pages[pg]
+		if w.proc == e.self {
+			// Validate: bring our copy fully up to date.
+			e.bringUpToDate(pg, stats.CatGC)
+			if e.pt.Page(pg).State == mem.Invalid {
+				e.pt.Page(pg).State = mem.ReadOnly
+			}
+		}
+		m.copyHolder = w.proc
+	}
+
+	// Wait until every node finished validating before discarding diffs.
+	t0 := e.app().Now()
+	e.gcRendezvous()
+	e.st().Add(stats.CatGC, e.app().Now()-t0)
+
+	// Discard protocol data.
+	for pg := 0; pg < len(e.pages); pg++ {
+		w, ok := last[pg]
+		if !ok {
+			continue
+		}
+		m := &e.pages[pg]
+		for m.inflight {
+			m.twinWaiter = append(m.twinWaiter, e.app())
+			e.app().Park(fmt.Sprintf("gc twin busy page %d", pg))
+		}
+		if m.pending != nil {
+			// Nobody fetched this diff during validation; it is dead.
+			p := e.pt.Page(pg)
+			p.DropTwin()
+			e.st().MemFree(int64(e.sys.Space.PageBytes()))
+			m.pending = nil
+		}
+		for range m.wns {
+			e.st().MemFree(wnEntryBytes)
+		}
+		m.wns = nil
+		if w.proc != e.self {
+			p := e.pt.Page(pg)
+			if p.Data != nil {
+				p.State = mem.Invalid
+				p.Data = nil
+				if m.appliedVC != nil {
+					e.st().MemFree(int64(m.appliedVC.WireSize()))
+					m.appliedVC = nil
+				}
+			}
+		}
+	}
+	for k, d := range e.diffs {
+		e.st().MemFree(d.MemSize())
+		delete(e.diffs, k)
+	}
+	e.pruneLogThrough(e.clock)
+	e.emit(trace.GCEnd, -1, -1, 0)
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers
+
+func (e *lrcEngine) handleCompute(m paragon.Msg) (sim.Time, func()) {
+	switch m.Kind {
+	case kLockAcq:
+		return e.handleLockAcq(m)
+	case kLockFwd:
+		return e.handleLockFwd(m)
+	case kBarrier:
+		return e.handleBarrier(m)
+	case kGCDone:
+		return e.handleGCDone(m)
+	case kFetchDiffs:
+		return e.handleFetchDiffs(m)
+	case kFetchPage:
+		return e.handleFetchPage(m)
+	}
+	return badKind(m.Kind)
+}
+
+func (e *lrcEngine) handleCoproc(m paragon.Msg) (sim.Time, func()) {
+	switch m.Kind {
+	case kMakeDiff:
+		return e.handleMakeDiff(m)
+	case kFetchDiffs:
+		return e.handleFetchDiffs(m)
+	case kFetchPage:
+		return e.handleFetchPage(m)
+	// Synchronization service lands here under the OverlapLocks
+	// extension (§4.3's "moved to the co-processor").
+	case kLockAcq:
+		return e.handleLockAcq(m)
+	case kLockFwd:
+		return e.handleLockFwd(m)
+	case kBarrier:
+		return e.handleBarrier(m)
+	case kGCDone:
+		return e.handleGCDone(m)
+	}
+	return badKind(m.Kind)
+}
+
+// handleMakeDiff runs on the writer's co-processor (OLRC): create the
+// diff, then serve any queued requests for it.
+func (e *lrcEngine) handleMakeDiff(m paragon.Msg) (sim.Time, func()) {
+	return e.costs().DiffCreateCost(e.sys.Space.PageWords), func() {
+		req := m.Body.(*makeDiffReq)
+		e.materializeDiff(req.Page, req.Interval)
+		pm := &e.pages[req.Page]
+		pm.inflight = false
+		for _, w := range pm.twinWaiter {
+			w.Unpark()
+		}
+		pm.twinWaiter = nil
+		reqs := pm.pendingReqs
+		pm.pendingReqs = nil
+		for _, r := range reqs {
+			e.serveDiffs(r)
+		}
+	}
+}
+
+// handleFetchDiffs serves a diff request at the writer. Lazy diffs are
+// created on demand; OLRC requests for an in-flight diff are queued.
+func (e *lrcEngine) handleFetchDiffs(m paragon.Msg) (sim.Time, func()) {
+	req := m.Body.(*fetchDiffsReq)
+	pm := &e.pages[req.Page]
+	if pm.inflight {
+		return 0, func() {
+			e.pages[req.Page].pendingReqs = append(e.pages[req.Page].pendingReqs, m)
+		}
+	}
+	var work sim.Time
+	if pm.pending != nil {
+		for j, iv := range req.Intervals {
+			if int(req.Procs[j]) == e.self && iv == pm.pending.Interval {
+				work += e.costs().DiffCreateCost(e.sys.Space.PageWords)
+			}
+		}
+	}
+	return work, func() {
+		pm := &e.pages[req.Page]
+		if pm.pending != nil {
+			e.materializeDiff(req.Page, pm.pending.Interval)
+			pm.pending = nil
+		}
+		e.serveDiffs(m)
+	}
+}
+
+// serveDiffs answers with every requested diff this node created or has
+// cached; the requester chases the rest elsewhere.
+func (e *lrcEngine) serveDiffs(m paragon.Msg) {
+	req := m.Body.(*fetchDiffsReq)
+	resp := &fetchDiffsResp{
+		Found: make([]bool, len(req.Intervals)),
+		Diffs: make([]mem.Diff, len(req.Intervals)),
+	}
+	size := 0
+	served := 0
+	for j, iv := range req.Intervals {
+		d, ok := e.diffs[diffKey{req.Procs[j], int32(req.Page), iv}]
+		if !ok {
+			continue
+		}
+		resp.Found[j] = true
+		resp.Diffs[j] = *d
+		size += d.WireSize()
+		served++
+	}
+	// A writer always holds its own diffs until GC; a request routed here
+	// by a write notice must be at least partially servable.
+	for j := range req.Procs {
+		if int(req.Procs[j]) == e.self && !resp.Found[j] {
+			panic(fmt.Sprintf("core: node %d lost its own diff for page %d interval %d",
+				e.self, req.Page, req.Intervals[j]))
+		}
+	}
+	e.node.Respond(m, paragon.Msg{
+		Kind:  kFetchDiffs,
+		Size:  size,
+		Class: stats.ClassData,
+		Body:  resp,
+	})
+}
+
+// handleFetchPage serves a full-copy request, or redirects to a better
+// holder when this node dropped its copy at GC.
+func (e *lrcEngine) handleFetchPage(m paragon.Msg) (sim.Time, func()) {
+	return 0, func() {
+		req := m.Body.(*lrcFetchPageReq)
+		p := e.pt.Page(req.Page)
+		pm := &e.pages[req.Page]
+		if p.Data == nil {
+			e.node.Respond(m, paragon.Msg{
+				Kind:  kFetchPage,
+				Size:  12,
+				Class: stats.ClassProtocol,
+				Body:  &lrcFetchPageResp{Hint: pm.copyHolder},
+			})
+			return
+		}
+		data := make([]float64, len(p.Data))
+		copy(data, p.Data)
+		avc := pm.appliedVC.Copy()
+		e.node.Respond(m, paragon.Msg{
+			Kind:  kFetchPage,
+			Size:  e.sys.Space.PageBytes() + avc.WireSize(),
+			Class: stats.ClassData,
+			Body:  &lrcFetchPageResp{Data: data, AppliedVC: avc},
+		})
+	}
+}
+
+// Finish waits out any co-processor diffs still in flight and asserts the
+// engine wound down cleanly.
+func (e *lrcEngine) Finish() {
+	if len(e.dirty) > 0 {
+		panic(fmt.Sprintf("core: node %d finished with %d dirty pages (missing final barrier?)", e.self, len(e.dirty)))
+	}
+	for pg := range e.pages {
+		m := &e.pages[pg]
+		for m.inflight {
+			m.twinWaiter = append(m.twinWaiter, e.app())
+			e.app().Park(fmt.Sprintf("finish: diff in flight page %d", pg))
+		}
+	}
+	for l, ls := range e.locks {
+		if ls.held {
+			panic(fmt.Sprintf("core: node %d finished holding lock %d", e.self, l))
+		}
+		if len(ls.queue) > 0 {
+			panic(fmt.Sprintf("core: node %d finished with %d queued requests on lock %d", e.self, len(ls.queue), l))
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"gosvm/internal/mem"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+	"gosvm/internal/trace"
+)
+
+// App is a Splash-2-style application: sequential setup and
+// initialization by processor 0, a parallel worker body, and a gather
+// phase that collects results (used for validation).
+type App interface {
+	Name() string
+	// Setup allocates shared memory. It must not write data.
+	Setup(s *Setup)
+	// Init fills initial data and may direct home placement. It models
+	// the paper's "one process allocates and initializes global data";
+	// it runs before the timed parallel phase.
+	Init(w *Init)
+	// Worker is the parallel body, run on every processor. Workers must
+	// finish with a barrier so all updates are flushed.
+	Worker(c *Ctx, id int)
+	// Gather reads back the results through the SVM (on processor 0,
+	// after all workers complete).
+	Gather(c *Ctx) []float64
+}
+
+// Setup is the allocation-phase view of the system.
+type Setup struct {
+	Space *mem.Space
+	P     int // number of processors for this run
+}
+
+// Alloc reserves n words of shared memory (page-aligned).
+func (s *Setup) Alloc(n int) mem.Addr { return s.Space.Alloc(n) }
+
+// AllocUnaligned reserves n words without page alignment.
+func (s *Setup) AllocUnaligned(n int) mem.Addr { return s.Space.AllocUnaligned(n) }
+
+// Init is the initialization-phase view: direct writes into the staging
+// image plus home placement directives.
+type Init struct {
+	sys *System
+	P   int
+}
+
+// Store writes one word of initial data.
+func (w *Init) Store(a mem.Addr, v float64) { w.sys.staging[a] = v }
+
+// StoreI writes an integer (must be exactly representable in float64).
+func (w *Init) StoreI(a mem.Addr, v int64) { w.sys.staging[a] = float64(v) }
+
+// Load reads back initial data (for init-time computation).
+func (w *Init) Load(a mem.Addr) float64 { return w.sys.staging[a] }
+
+// SetHome assigns the pages covering [a, a+words) to the given node: the
+// paper's "homes chosen intelligently" (application-directed placement).
+// Under the homeless protocols the same placement seeds the initial page
+// copies. Ignored when Options.HomeRoundRobin is set.
+func (w *Init) SetHome(a mem.Addr, words int, node int) {
+	if w.sys.Opts.HomeRoundRobin {
+		return
+	}
+	first := w.sys.Space.PageOf(a)
+	last := w.sys.Space.PageOf(a + mem.Addr(words) - 1)
+	for pg := first; pg <= last; pg++ {
+		w.sys.homes[pg] = node % w.P
+	}
+}
+
+// System is one configured simulation: machine, address space, page
+// tables, and per-node protocol engines.
+type System struct {
+	K     *sim.Kernel
+	M     *paragon.Machine
+	Space *mem.Space
+	Opts  Options
+
+	Tables  []*mem.Table
+	Engines []Engine
+
+	homes     []int // per page
+	staging   []float64
+	appProcs  []*sim.Proc
+	homeBased bool
+
+	// traceLog, when non-nil, captures protocol events.
+	traceLog *trace.Log
+
+	// gcDecider, when non-nil, inspects barrier reports and decides
+	// whether this barrier triggers garbage collection.
+	gcDecider func(reports []*barrierReport) bool
+	// onBarrier is invoked (scheduler context) after each completed
+	// barrier episode, for phase capture.
+	onBarrier func(episode int)
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Stats *stats.Run
+	// Data is the result image collected by App.Gather on processor 0.
+	Data []float64
+	// Phases are per-barrier-episode stat deltas when phase capture is on.
+	Phases []stats.Phase
+	// Trace is the protocol event log when Options.TraceLimit is set.
+	Trace *trace.Log
+}
+
+// Run executes app under opts and returns the gathered results and
+// statistics.
+func Run(opts Options, app App, capturePhases bool) (*Result, error) {
+	opts.Defaults()
+	if opts.Protocol == ProtoSeq && opts.NumProcs != 1 {
+		return nil, fmt.Errorf("core: sequential runs require NumProcs=1, got %d", opts.NumProcs)
+	}
+
+	k := sim.NewKernel()
+	machine := paragon.New(k, opts.NumProcs, opts.Costs)
+	if opts.Mesh {
+		machine.EnableMesh(0)
+	}
+	space := mem.NewSpace(opts.PageBytes)
+	sys := &System{
+		K:     k,
+		M:     machine,
+		Space: space,
+		Opts:  opts,
+		homeBased: opts.Protocol == ProtoHLRC || opts.Protocol == ProtoOHLRC ||
+			opts.Protocol == ProtoAURC || opts.Protocol == ProtoSeq,
+	}
+	if opts.TraceLimit != 0 {
+		limit := opts.TraceLimit
+		if limit < 0 {
+			limit = 0
+		}
+		sys.traceLog = trace.NewLog(limit)
+	}
+
+	// Phase 1: allocation.
+	app.Setup(&Setup{Space: space, P: opts.NumProcs})
+	npages := space.NumPages()
+	if npages == 0 {
+		return nil, fmt.Errorf("core: app %q allocated no shared memory", app.Name())
+	}
+
+	// Phase 2: initialization into the staging image, with default
+	// round-robin home placement that the app may override.
+	sys.staging = make([]float64, npages*space.PageWords)
+	sys.homes = make([]int, npages)
+	for pg := range sys.homes {
+		sys.homes[pg] = pg % opts.NumProcs
+	}
+	app.Init(&Init{sys: sys, P: opts.NumProcs})
+
+	// Phase 3: page tables and engines.
+	sys.Tables = make([]*mem.Table, opts.NumProcs)
+	for i := range sys.Tables {
+		sys.Tables[i] = mem.NewTable(space)
+		sys.Tables[i].Page(npages - 1) // pre-size: stable entry pointers
+	}
+	sys.Engines = make([]Engine, opts.NumProcs)
+	for i := range sys.Engines {
+		switch opts.Protocol {
+		case ProtoSeq:
+			sys.Engines[i] = newSeqEngine(sys, i)
+		case ProtoLRC, ProtoOLRC:
+			sys.Engines[i] = newLRCEngine(sys, i, opts.Protocol == ProtoOLRC)
+		case ProtoHLRC, ProtoOHLRC:
+			sys.Engines[i] = newHLRCEngine(sys, i, opts.Protocol == ProtoOHLRC)
+		case ProtoAURC:
+			sys.Engines[i] = newAURCEngine(sys, i)
+		default:
+			return nil, fmt.Errorf("core: unknown protocol %q", opts.Protocol)
+		}
+	}
+
+	// Phase 4: seed initial copies at the homes from the staging image.
+	for pg := 0; pg < npages; pg++ {
+		owner := sys.homes[pg]
+		t := sys.Tables[owner]
+		p := t.Materialize(pg)
+		copy(p.Data, sys.staging[pg*space.PageWords:(pg+1)*space.PageWords])
+		p.State = mem.ReadOnly
+		if opts.Protocol == ProtoSeq {
+			p.State = mem.ReadWrite
+		}
+		machine.Nodes[owner].Stats.AppMem += int64(space.PageBytes())
+	}
+	sys.staging = nil
+
+	// Phase capture.
+	var phases []stats.Phase
+	var lastSnap []stats.Node
+	if capturePhases {
+		lastSnap = make([]stats.Node, opts.NumProcs)
+		sys.onBarrier = func(episode int) {
+			ph := stats.Phase{Barrier: episode, PerNode: make([]stats.Node, opts.NumProcs)}
+			for i, nd := range machine.Nodes {
+				snap := nd.Stats.Snapshot()
+				ph.PerNode[i] = snap.Sub(lastSnap[i])
+				lastSnap[i] = snap
+			}
+			phases = append(phases, ph)
+		}
+	}
+
+	// Phase 5: run workers.
+	sys.appProcs = make([]*sim.Proc, opts.NumProcs)
+	perProcEnd := make([]sim.Time, opts.NumProcs)
+	endStats := make([]stats.Node, opts.NumProcs)
+	var gathered []float64
+	for i := 0; i < opts.NumProcs; i++ {
+		i := i
+		sys.appProcs[i] = k.Spawn(fmt.Sprintf("app%d", i), 0, func(p *sim.Proc) {
+			machine.Nodes[i].CPU.Bind(p)
+			c := newCtx(sys, i, p)
+			app.Worker(c, i)
+			perProcEnd[i] = p.Now()
+			// Snapshot before the (untimed) gather phase so reported
+			// statistics cover exactly the parallel execution.
+			endStats[i] = machine.Nodes[i].Stats.Snapshot()
+			if i == 0 {
+				gathered = app.Gather(c)
+			}
+			sys.Engines[i].Finish()
+		})
+	}
+	if err := k.Run(); err != nil {
+		k.Shutdown()
+		return nil, fmt.Errorf("core: %s/%s: %w", app.Name(), opts.Protocol, err)
+	}
+	k.Shutdown()
+
+	var elapsed sim.Time
+	for _, t := range perProcEnd {
+		if t > elapsed {
+			elapsed = t
+		}
+	}
+	run := &stats.Run{
+		Protocol: opts.Protocol,
+		App:      app.Name(),
+		Elapsed:  elapsed,
+	}
+	for i := range endStats {
+		nd := endStats[i]
+		run.Nodes = append(run.Nodes, &nd)
+	}
+	run.PhaseCaps = phases
+	return &Result{Stats: run, Data: gathered, Phases: phases, Trace: sys.traceLog}, nil
+}

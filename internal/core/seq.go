@@ -1,0 +1,29 @@
+package core
+
+import "fmt"
+
+// seqEngine is the sequential baseline: a single processor with every page
+// resident and writable, no coherence actions, and free synchronization.
+// Runs under ProtoSeq measure pure computation time, the denominator of
+// the paper's speedups.
+type seqEngine struct {
+	sys  *System
+	self int
+}
+
+func newSeqEngine(sys *System, self int) *seqEngine {
+	return &seqEngine{sys: sys, self: self}
+}
+
+func (e *seqEngine) ReadFault(page int) {
+	panic(fmt.Sprintf("core: sequential run faulted reading page %d", page))
+}
+
+func (e *seqEngine) WriteFault(page int) {
+	panic(fmt.Sprintf("core: sequential run faulted writing page %d", page))
+}
+
+func (e *seqEngine) Acquire(lock int) {}
+func (e *seqEngine) Release(lock int) {}
+func (e *seqEngine) Barrier(id int)   {}
+func (e *seqEngine) Finish()          {}

@@ -1,0 +1,85 @@
+package mem
+
+import "math"
+
+// Run is a maximal run of consecutive modified words within a page.
+type Run struct {
+	Off  int       // word offset within the page
+	Vals []float64 // new values
+}
+
+// Diff is the set of words a writer changed in one page during one
+// interval, encoded as runs. Words are compared by bit pattern, so NaNs
+// and signed zeros are handled exactly.
+type Diff struct {
+	Page int
+	Runs []Run
+}
+
+// ComputeDiff scans cur against the clean twin and returns the modified
+// runs. The two slices must have equal length.
+func ComputeDiff(page int, twin, cur []float64) Diff {
+	if len(twin) != len(cur) {
+		panic("mem: diff of mismatched pages")
+	}
+	d := Diff{Page: page}
+	i := 0
+	for i < len(cur) {
+		if sameBits(twin[i], cur[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && !sameBits(twin[j], cur[j]) {
+			j++
+		}
+		vals := make([]float64, j-i)
+		copy(vals, cur[i:j])
+		d.Runs = append(d.Runs, Run{Off: i, Vals: vals})
+		i = j
+	}
+	return d
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Apply writes the diff's runs into dst (a local copy of the page).
+func (d *Diff) Apply(dst []float64) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:r.Off+len(r.Vals)], r.Vals)
+	}
+}
+
+// Empty reports whether the diff modifies no words.
+func (d *Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// Words returns the number of modified words.
+func (d *Diff) Words() int {
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Vals)
+	}
+	return n
+}
+
+// WireSize returns the encoded size in bytes: a small diff header plus,
+// per run, a (page offset, length) descriptor and the word values.
+func (d *Diff) WireSize() int {
+	sz := 16 // page id + run count + interval stamp
+	for _, r := range d.Runs {
+		sz += 8 + 8*len(r.Vals)
+	}
+	return sz
+}
+
+// MemSize returns the in-memory footprint charged to protocol memory
+// accounting when a diff is retained.
+func (d *Diff) MemSize() int64 {
+	sz := int64(48) // descriptor
+	for _, r := range d.Runs {
+		sz += 24 + 8*int64(len(r.Vals))
+	}
+	return sz
+}

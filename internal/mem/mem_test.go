@@ -1,0 +1,278 @@
+package mem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceAllocAlignment(t *testing.T) {
+	s := NewSpace(4096) // 512 words
+	a := s.Alloc(10)
+	if a != 0 {
+		t.Fatalf("first alloc at %d, want 0", a)
+	}
+	b := s.Alloc(5)
+	if b != 512 {
+		t.Fatalf("second alloc at %d, want page-aligned 512", b)
+	}
+	if s.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", s.NumPages())
+	}
+}
+
+func TestSpaceAllocUnalignedPacks(t *testing.T) {
+	s := NewSpace(4096)
+	a := s.AllocUnaligned(10)
+	b := s.AllocUnaligned(10)
+	if b != a+10 {
+		t.Fatalf("unaligned allocs not packed: %d then %d", a, b)
+	}
+}
+
+func TestSpacePageMath(t *testing.T) {
+	s := NewSpace(4096)
+	if s.PageWords != 512 {
+		t.Fatalf("PageWords = %d", s.PageWords)
+	}
+	if s.PageOf(511) != 0 || s.PageOf(512) != 1 {
+		t.Fatal("PageOf boundary wrong")
+	}
+	if s.PageBase(3) != 1536 {
+		t.Fatalf("PageBase(3) = %d", s.PageBase(3))
+	}
+}
+
+func TestSpaceBadSizesPanic(t *testing.T) {
+	for _, sz := range []int{0, -8, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", sz)
+				}
+			}()
+			NewSpace(sz)
+		}()
+	}
+	s := NewSpace(64)
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(0) did not panic")
+		}
+	}()
+	s.Alloc(0)
+}
+
+func TestTableGrowth(t *testing.T) {
+	s := NewSpace(64)
+	tb := NewTable(s)
+	p := tb.Page(100)
+	if p.State != Invalid || p.Data != nil {
+		t.Fatal("fresh page not invalid/empty")
+	}
+	if tb.Len() != 101 {
+		t.Fatalf("Len = %d, want 101", tb.Len())
+	}
+	// Returned pointer must be stable enough for immediate use.
+	p.State = ReadWrite
+	if tb.Page(100).State != ReadWrite {
+		t.Fatal("page state lost")
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	s := NewSpace(64)
+	tb := NewTable(s)
+	p := tb.Materialize(2)
+	if len(p.Data) != 8 {
+		t.Fatalf("data len = %d, want 8", len(p.Data))
+	}
+	p.Data[3] = 7
+	tb.Materialize(2) // idempotent
+	if tb.Page(2).Data[3] != 7 {
+		t.Fatal("Materialize clobbered existing data")
+	}
+}
+
+func TestTwinLifecycle(t *testing.T) {
+	s := NewSpace(64)
+	tb := NewTable(s)
+	p := tb.Materialize(0)
+	p.Data[1] = 42
+	p.MakeTwin()
+	p.Data[1] = 43
+	if p.Twin[1] != 42 {
+		t.Fatal("twin does not hold pre-write value")
+	}
+	p.DropTwin()
+	if p.Twin != nil {
+		t.Fatal("DropTwin left twin")
+	}
+}
+
+func TestDiffBasic(t *testing.T) {
+	twin := []float64{1, 2, 3, 4, 5}
+	cur := []float64{1, 9, 9, 4, 8}
+	d := ComputeDiff(7, twin, cur)
+	if d.Page != 7 {
+		t.Fatalf("page = %d", d.Page)
+	}
+	if len(d.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (%v)", len(d.Runs), d.Runs)
+	}
+	if d.Words() != 3 {
+		t.Fatalf("words = %d, want 3", d.Words())
+	}
+	dst := []float64{1, 2, 3, 4, 5}
+	d.Apply(dst)
+	for i := range cur {
+		if dst[i] != cur[i] {
+			t.Fatalf("apply mismatch at %d: %v vs %v", i, dst, cur)
+		}
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	v := []float64{1, 2, 3}
+	d := ComputeDiff(0, v, []float64{1, 2, 3})
+	if !d.Empty() || d.Words() != 0 {
+		t.Fatal("identical pages produced a non-empty diff")
+	}
+	if d.WireSize() != 16 {
+		t.Fatalf("empty diff wire size = %d", d.WireSize())
+	}
+}
+
+func TestDiffNaNAndSignedZero(t *testing.T) {
+	nan1 := math.NaN()
+	nan2 := math.Float64frombits(math.Float64bits(nan1) ^ 1) // different NaN payload
+	twin := []float64{nan1, 0.0, 1}
+	cur := []float64{nan1, math.Copysign(0, -1), 1}
+	d := ComputeDiff(0, twin, cur)
+	if d.Words() != 1 {
+		t.Fatalf("signed-zero change not detected exactly: %d words", d.Words())
+	}
+	twin2 := []float64{nan1}
+	cur2 := []float64{nan2}
+	d2 := ComputeDiff(0, twin2, cur2)
+	if d2.Words() != 1 {
+		t.Fatal("NaN payload change not detected")
+	}
+	dst := []float64{nan1}
+	d2.Apply(dst)
+	if math.Float64bits(dst[0]) != math.Float64bits(nan2) {
+		t.Fatal("NaN payload not preserved through apply")
+	}
+}
+
+func TestDiffFullPage(t *testing.T) {
+	n := 512
+	twin := make([]float64, n)
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = float64(i + 1)
+	}
+	d := ComputeDiff(0, twin, cur)
+	if len(d.Runs) != 1 || d.Words() != n {
+		t.Fatalf("full-page diff: %d runs, %d words", len(d.Runs), d.Words())
+	}
+	if d.WireSize() != 16+8+8*n {
+		t.Fatalf("wire size = %d", d.WireSize())
+	}
+}
+
+// Property: applying Diff(twin, cur) to a copy of twin reconstructs cur
+// exactly, for arbitrary modifications.
+func TestDiffRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nMods uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		twin := make([]float64, n)
+		for i := range twin {
+			twin[i] = rng.NormFloat64()
+		}
+		cur := make([]float64, n)
+		copy(cur, twin)
+		for m := 0; m < int(nMods); m++ {
+			cur[rng.Intn(n)] = rng.NormFloat64()
+		}
+		d := ComputeDiff(0, twin, cur)
+		dst := make([]float64, n)
+		copy(dst, twin)
+		d.Apply(dst)
+		for i := range cur {
+			if math.Float64bits(dst[i]) != math.Float64bits(cur[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent diffs against the same twin touching disjoint words
+// merge commutatively (the multiple-writer guarantee the protocols rely
+// on).
+func TestDiffDisjointMergeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		twin := make([]float64, n)
+		for i := range twin {
+			twin[i] = rng.NormFloat64()
+		}
+		a := make([]float64, n)
+		b := make([]float64, n)
+		copy(a, twin)
+		copy(b, twin)
+		perm := rng.Perm(n)
+		for _, i := range perm[:16] {
+			a[i] = rng.NormFloat64() + 1e9
+		}
+		for _, i := range perm[16:32] {
+			b[i] = rng.NormFloat64() - 1e9
+		}
+		da := ComputeDiff(0, twin, a)
+		db := ComputeDiff(0, twin, b)
+
+		ab := append([]float64(nil), twin...)
+		da.Apply(ab)
+		db.Apply(ab)
+		ba := append([]float64(nil), twin...)
+		db.Apply(ba)
+		da.Apply(ba)
+		for i := range ab {
+			if math.Float64bits(ab[i]) != math.Float64bits(ba[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diff sizes are consistent — Words matches the sum of run
+// lengths implied by WireSize.
+func TestDiffSizeConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		twin := make([]float64, n)
+		cur := make([]float64, n)
+		for i := range cur {
+			if rng.Intn(3) == 0 {
+				cur[i] = 1
+			}
+		}
+		d := ComputeDiff(0, twin, cur)
+		return d.WireSize() == 16+8*len(d.Runs)+8*d.Words()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package mem
+
+import "fmt"
+
+// State is the protection state of a page in one node's page table.
+type State uint8
+
+const (
+	// Invalid: any access faults. The node may still hold stale Data as a
+	// base copy for diff application.
+	Invalid State = iota
+	// ReadOnly: reads proceed; the first write faults (write detection).
+	ReadOnly
+	// ReadWrite: all accesses proceed.
+	ReadWrite
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case ReadOnly:
+		return "read-only"
+	case ReadWrite:
+		return "read-write"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Page is one node's view of a shared page.
+type Page struct {
+	State State
+	// Data is the local copy, nil if the node never materialized one.
+	// When State is Invalid, Data (if present) is a stale base copy.
+	Data []float64
+	// Twin is the clean snapshot taken before the first write of the
+	// current interval; nil when the page is not being written.
+	Twin []float64
+	// Stores counts individual word stores since the page became
+	// writable. Used by the AURC emulation, whose write-through traffic
+	// is proportional to stores rather than to distinct modified words.
+	Stores int
+}
+
+// HasCopy reports whether a local copy exists (possibly stale).
+func (p *Page) HasCopy() bool { return p.Data != nil }
+
+// Table is one node's page table.
+type Table struct {
+	Space *Space
+	pages []Page
+}
+
+// NewTable returns an empty page table over space.
+func NewTable(space *Space) *Table {
+	return &Table{Space: space}
+}
+
+// Page returns the entry for page id, growing the table as needed.
+func (t *Table) Page(id int) *Page {
+	if id < 0 {
+		panic(fmt.Sprintf("mem: page %d", id))
+	}
+	for id >= len(t.pages) {
+		t.pages = append(t.pages, Page{})
+	}
+	return &t.pages[id]
+}
+
+// Len returns the number of page entries instantiated.
+func (t *Table) Len() int { return len(t.pages) }
+
+// Materialize ensures the page has a zeroed local copy, returning it.
+func (t *Table) Materialize(id int) *Page {
+	p := t.Page(id)
+	if p.Data == nil {
+		p.Data = make([]float64, t.Space.PageWords)
+	}
+	return p
+}
+
+// MakeTwin snapshots the current page contents as the twin.
+func (p *Page) MakeTwin() {
+	if p.Data == nil {
+		panic("mem: twin of a page with no copy")
+	}
+	if p.Twin == nil {
+		p.Twin = make([]float64, len(p.Data))
+	}
+	copy(p.Twin, p.Data)
+}
+
+// DropTwin discards the twin.
+func (p *Page) DropTwin() { p.Twin = nil }

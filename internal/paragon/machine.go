@@ -1,0 +1,216 @@
+package paragon
+
+import (
+	"fmt"
+
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// Handler services one message. It returns the compute work the service
+// requires and an effect to apply once that time has elapsed (typically
+// state mutation plus sending replies). Handlers must not block; requests
+// that cannot be satisfied yet are parked on protocol pending lists and
+// answered from a later handler's effect.
+type Handler func(m Msg) (work sim.Time, effect func())
+
+// Machine is a multicomputer: a set of nodes connected by a
+// latency/bandwidth network, driven by one simulation kernel.
+type Machine struct {
+	K     *sim.Kernel
+	Costs Costs
+	Nodes []*Node
+
+	// lastArrival enforces per-(src,dst) FIFO delivery, as the Paragon's
+	// wormhole mesh does: a later small message must not overtake an
+	// earlier large one. Indexed [src][dst].
+	lastArrival [][]sim.Time
+
+	// mesh, when non-nil, routes messages over a 2-D wormhole mesh with
+	// link contention instead of the default crossbar. See EnableMesh.
+	mesh *mesh
+}
+
+// New builds an n-node machine on kernel k and starts the per-node
+// dispatcher daemons.
+func New(k *sim.Kernel, n int, costs Costs) *Machine {
+	m := &Machine{K: k, Costs: costs}
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			ID:       i,
+			M:        m,
+			Stats:    &stats.Node{},
+			computeQ: sim.NewChan[Msg](fmt.Sprintf("n%d.compute", i)),
+			coprocQ:  sim.NewChan[Msg](fmt.Sprintf("n%d.coproc", i)),
+		}
+		nd.CPU = &CPU{node: nd}
+		m.Nodes = append(m.Nodes, nd)
+		nd.startDispatchers()
+	}
+	m.lastArrival = make([][]sim.Time, n)
+	for i := range m.lastArrival {
+		m.lastArrival[i] = make([]sim.Time, n)
+	}
+	return m
+}
+
+// NumNodes returns the machine size.
+func (m *Machine) NumNodes() int { return len(m.Nodes) }
+
+// Node is one Paragon node: compute processor, communication co-processor,
+// and shared local memory (implicit — protocol state lives in Go objects
+// owned by the node).
+type Node struct {
+	ID    int
+	M     *Machine
+	CPU   *CPU
+	Stats *stats.Node
+
+	computeQ *sim.Chan[Msg]
+	coprocQ  *sim.Chan[Msg]
+	computeH Handler
+	coprocH  Handler
+}
+
+// InstallCompute sets the handler for messages targeted at the compute
+// processor (serviced under a receive interrupt).
+func (n *Node) InstallCompute(h Handler) { n.computeH = h }
+
+// InstallCoproc sets the handler run by the co-processor dispatch loop.
+func (n *Node) InstallCoproc(h Handler) { n.coprocH = h }
+
+func (n *Node) startDispatchers() {
+	k := n.M.K
+	k.Spawn(fmt.Sprintf("n%d.intr", n.ID), 0, func(p *sim.Proc) {
+		for {
+			m := n.computeQ.Recv(p)
+			work, effect := n.computeH(m)
+			service := n.M.Costs.ReceiveInterrupt + work
+			// The interrupt runs on the compute processor: it both
+			// occupies this service loop (serializing back-to-back
+			// requests into hot spots) and steals the time from whatever
+			// the application was doing.
+			n.CPU.Steal(service)
+			p.Sleep(service)
+			if effect != nil {
+				effect()
+			}
+		}
+	}).SetDaemon()
+	k.Spawn(fmt.Sprintf("n%d.coproc", n.ID), 0, func(p *sim.Proc) {
+		for {
+			m := n.coprocQ.Recv(p)
+			work, effect := n.coprocH(m)
+			p.Sleep(work)
+			if effect != nil {
+				effect()
+			}
+		}
+	}).SetDaemon()
+}
+
+// Send transmits msg from this node. Delivery is scheduled after the wire
+// time (FIFO per source/destination pair); the receiving dispatcher then
+// serializes service.
+func (n *Node) Send(to int, msg Msg) {
+	msg.From = n.ID
+	n.Stats.Sent(msg.Class, msg.Size+n.M.Costs.MsgHeader)
+	dst := n.M.Nodes[to]
+	var at sim.Time
+	if ms := n.M.mesh; ms != nil && n.ID != to {
+		// Software latency covers injection; the mesh model adds hop
+		// delay and link contention for the payload.
+		bw := n.M.Costs.BandwidthMBs * 1e6
+		tx := sim.Time(float64(msg.Size+n.M.Costs.MsgHeader) / bw * float64(sim.Second))
+		at = ms.deliver(n.M.K.Now()+n.M.Costs.MsgLatency, n.ID, to, tx)
+	} else {
+		at = n.M.K.Now() + n.M.Costs.Wire(msg.Size)
+	}
+	if prev := n.M.lastArrival[n.ID][to]; at <= prev {
+		at = prev + 1
+	}
+	n.M.lastArrival[n.ID][to] = at
+	n.M.K.At(at, func() {
+		switch msg.Target {
+		case ToCompute:
+			dst.computeQ.Push(msg)
+		case ToCoproc:
+			dst.coprocQ.Push(msg)
+		}
+	})
+}
+
+// Call sends a request and blocks p until the reply arrives. The reply is
+// delivered directly to the waiting requester (it polls), so no receive
+// interrupt is charged on this node.
+func (n *Node) Call(p *sim.Proc, to int, msg Msg) Msg {
+	msg.Reply = NewReply()
+	n.Send(to, msg)
+	return msg.Reply.Wait(p)
+}
+
+// Respond sends resp as the answer to req. It may be called from handler
+// effects or proc code on the node that received req.
+func (n *Node) Respond(req Msg, resp Msg) {
+	if req.Reply == nil {
+		panic("paragon: Respond to a message with no reply port")
+	}
+	resp.From = n.ID
+	n.Stats.Sent(resp.Class, resp.Size+n.M.Costs.MsgHeader)
+	reply := req.Reply
+	n.M.K.After(n.M.Costs.Wire(resp.Size), func() { reply.ch.Push(resp) })
+}
+
+// PostCoproc posts a request from the compute processor to the local
+// co-processor through the post page, charging the post cost to p.
+func (n *Node) PostCoproc(p *sim.Proc, msg Msg) {
+	msg.From = n.ID
+	n.CPU.Use(p, n.M.Costs.CoprocPost, stats.CatProtocol)
+	n.coprocQ.Push(msg)
+}
+
+// InjectCoproc queues a message on the local co-processor from a handler
+// effect (no proc context to charge).
+func (n *Node) InjectCoproc(msg Msg) {
+	msg.From = n.ID
+	n.coprocQ.Push(msg)
+}
+
+// CPU models the compute processor as seen by the application process:
+// application work is charged through Use, and interrupt service steals
+// time by extending whatever Use is in progress.
+type CPU struct {
+	node   *Node
+	proc   *sim.Proc
+	busy   bool
+	stolen sim.Time
+}
+
+// Bind associates the application process with this CPU.
+func (c *CPU) Bind(p *sim.Proc) { c.proc = p }
+
+// Use charges d of processor time to category cat on behalf of p. If
+// interrupts steal time while the work is in progress, the work is
+// extended and the stolen time is accounted as protocol overhead.
+func (c *CPU) Use(p *sim.Proc, d sim.Time, cat stats.Category) {
+	c.busy = true
+	p.Sleep(d)
+	c.node.Stats.Add(cat, d)
+	for c.stolen > 0 {
+		d = c.stolen
+		c.stolen = 0
+		p.Sleep(d)
+		c.node.Stats.Add(stats.CatProtocol, d)
+	}
+	c.busy = false
+}
+
+// Steal records that an interrupt consumed d of compute-processor time.
+// If the application is mid-Use the work is extended; if it is blocked
+// (waiting on a reply or synchronization) the service overlaps the wait
+// and costs the application nothing extra.
+func (c *CPU) Steal(d sim.Time) {
+	if c.busy {
+		c.stolen += d
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+// Chan is an unbounded FIFO connecting simulated processes. Values are
+// pushed from any simulation context (proc code or event callbacks) and
+// received by procs, which block while the queue is empty. Multiple
+// receivers are served in the order they blocked.
+type Chan[T any] struct {
+	name    string
+	queue   []T
+	waiters []*Proc
+}
+
+// NewChan returns an empty FIFO. The name appears in deadlock reports.
+func NewChan[T any](name string) *Chan[T] {
+	return &Chan[T]{name: name}
+}
+
+// Len reports the number of queued values.
+func (c *Chan[T]) Len() int { return len(c.queue) }
+
+// Push appends v and wakes the oldest waiting receiver, if any.
+func (c *Chan[T]) Push(v T) {
+	c.queue = append(c.queue, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		w.Unpark()
+	}
+}
+
+// Recv removes and returns the oldest value, blocking p while the queue is
+// empty.
+func (c *Chan[T]) Recv(p *Proc) T {
+	for len(c.queue) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.Park("recv " + c.name)
+	}
+	v := c.queue[0]
+	var zero T
+	c.queue[0] = zero
+	c.queue = c.queue[1:]
+	return v
+}
+
+// TryRecv removes and returns the oldest value without blocking. ok is
+// false if the queue is empty.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.queue) == 0 {
+		return v, false
+	}
+	v = c.queue[0]
+	var zero T
+	c.queue[0] = zero
+	c.queue = c.queue[1:]
+	return v, true
+}

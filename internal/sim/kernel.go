@@ -1,0 +1,133 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// A Kernel owns a virtual clock and an event queue. Simulated processes
+// (Proc) are goroutines that run one at a time under the kernel's control:
+// a process runs until it blocks on a kernel primitive (Sleep, Park, or a
+// Chan receive), at which point control returns to the scheduler. Events
+// with equal timestamps fire in the order they were scheduled, so a given
+// program produces a byte-identical execution every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+}
+
+// Micros reports t in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	procs  []*Proc
+	// current is the proc whose code is executing, nil when the kernel is
+	// running a plain event or scheduling.
+	current *Proc
+	stopped bool
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic error in a DES.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop makes Run return after the current event completes. Pending events
+// are discarded.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// DeadlockError reports that runnable work was exhausted while processes
+// were still blocked.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // one description per blocked proc
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked procs: %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns a *DeadlockError if processes remain blocked when the event
+// queue drains, and propagates any panic raised inside process code.
+func (k *Kernel) Run() error {
+	for len(k.events) > 0 && !k.stopped {
+		ev := heap.Pop(&k.events).(*event)
+		k.now = ev.at
+		ev.fn()
+	}
+	var blocked []string
+	for _, p := range k.procs {
+		if !p.done && p.started && !p.daemon {
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+		}
+	}
+	if len(blocked) > 0 && !k.stopped {
+		sort.Strings(blocked)
+		return &DeadlockError{Time: k.now, Blocked: blocked}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// procKilled is the sentinel panic used by Kernel.Shutdown to unwind
+// blocked processes.
+type procKilled struct{}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with other processes under kernel control. Exactly one proc (or event
+// callback) executes at a time, so proc code needs no locking and the
+// whole simulation is deterministic.
+//
+// All Proc methods must be called from the proc's own goroutine, except
+// Unpark, which is called from another proc or an event callback.
+type Proc struct {
+	k    *Kernel
+	name string
+
+	resume  chan struct{} // scheduler -> proc: run
+	yielded chan struct{} // proc -> scheduler: parked or done
+
+	started   bool
+	done      bool
+	daemon    bool
+	permit    bool // an Unpark arrived while the proc was runnable
+	poisoned  bool // Shutdown requested; unwind on next resume
+	blockedOn string
+
+	panicked any // panic value from the proc body, re-raised by run
+}
+
+// Spawn creates a process executing fn, starting at time at. The name is
+// used in deadlock reports.
+func (k *Kernel) Spawn(name string, at Time, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:       k,
+		name:    name,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(procKilled); !killed {
+					// Preserve the original stack: the panic is re-raised
+					// on the scheduler goroutine, which would lose it.
+					p.panicked = fmt.Sprintf("proc %s panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			p.done = true
+			p.yielded <- struct{}{}
+		}()
+		if !p.poisoned {
+			fn(p)
+		}
+	}()
+	k.At(at, func() { p.run() })
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Done reports whether the proc body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// SetDaemon marks the proc as a service loop: it is expected to be
+// blocked when the simulation ends and is excluded from deadlock reports.
+func (p *Proc) SetDaemon() *Proc { p.daemon = true; return p }
+
+// run transfers control to the proc until it yields. Called only from the
+// scheduler context (an event callback).
+func (p *Proc) run() {
+	if p.done {
+		return
+	}
+	p.started = true
+	p.k.current = p
+	p.resume <- struct{}{}
+	<-p.yielded
+	p.k.current = nil
+	if p.panicked != nil {
+		r := p.panicked
+		p.panicked = nil
+		panic(r)
+	}
+}
+
+// yield returns control to the scheduler and blocks until resumed.
+func (p *Proc) yield(reason string) {
+	p.blockedOn = reason
+	p.yielded <- struct{}{}
+	<-p.resume
+	if p.poisoned {
+		panic(procKilled{})
+	}
+	p.blockedOn = ""
+}
+
+// Sleep advances the proc's virtual time by d. Other events run meanwhile.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %d", d))
+	}
+	p.k.At(p.k.now+d, func() { p.run() })
+	p.yield(fmt.Sprintf("sleep(%v)", d))
+}
+
+// Park blocks the proc until another proc or event calls Unpark. If an
+// Unpark permit is already pending, Park consumes it and returns
+// immediately. The reason string appears in deadlock reports.
+func (p *Proc) Park(reason string) {
+	if p.permit {
+		p.permit = false
+		return
+	}
+	p.yield(reason)
+}
+
+// Unpark makes p runnable at the current simulated time. If p is not
+// parked, the permit is remembered and consumed by the next Park. Unpark
+// must not be called from p itself.
+func (p *Proc) Unpark() {
+	if p.k.current == p {
+		panic("sim: proc unparked itself")
+	}
+	if p.permit {
+		return // already has a pending permit
+	}
+	p.permit = true
+	p.k.At(p.k.now, func() {
+		if p.permit {
+			p.permit = false
+			p.run()
+		}
+	})
+}
+
+// Shutdown unwinds every live process so their goroutines exit. Call after
+// Run returns (normally or with a deadlock) when the kernel is no longer
+// needed; the kernel must not be used afterwards.
+func (k *Kernel) Shutdown() {
+	for _, p := range k.procs {
+		if p.done {
+			continue
+		}
+		p.poisoned = true
+		if !p.started {
+			// The goroutine is still waiting for its first resume; wake it
+			// so the poisoned check runs and the wrapper exits.
+			p.started = true
+		}
+		p.resume <- struct{}{}
+		<-p.yielded
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Emit(Event{Kind: ReadMiss})
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log not inert")
+	}
+	if got := l.ByKind(ReadMiss); got != nil {
+		t.Fatal("nil log filter not empty")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 10; i++ {
+		l.Emit(Event{T: 0, Kind: ReadMiss, Page: i})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	if l.Events()[2].Page != 2 {
+		t.Fatal("limit dropped the wrong events")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	l := NewLog(0)
+	l.Emit(Event{Node: 0, Kind: ReadMiss, Page: 7, Peer: -1})
+	l.Emit(Event{Node: 1, Kind: DiffApply, Page: 7, Peer: 0, Arg: 12})
+	l.Emit(Event{Node: 1, Kind: LockAcquire, Page: -1, Peer: -1, Arg: 3})
+	if len(l.ByKind(ReadMiss)) != 1 {
+		t.Fatal("ByKind wrong")
+	}
+	if len(l.ByPage(7)) != 2 {
+		t.Fatal("ByPage wrong")
+	}
+	if len(l.ByNode(1)) != 2 {
+		t.Fatal("ByNode wrong")
+	}
+	c := l.Counts()
+	if c[ReadMiss] != 1 || c[DiffApply] != 1 || c[LockAcquire] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind accepted junk")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	l := NewLog(0)
+	l.Emit(Event{T: 1500000, Node: 2, Kind: LockAcquire, Page: -1, Peer: -1, Arg: 9})
+	l.Emit(Event{T: 2500000, Node: 3, Kind: DiffFlush, Page: 4, Peer: 1, Arg: 128})
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"lock-acquire", "lock=9", "diff-flush", "page=4", "peer=1", "bytes=128"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

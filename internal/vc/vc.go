@@ -1,0 +1,123 @@
+// Package vc implements the vector timestamps and happens-before machinery
+// of lazy release consistency: per-processor interval counters, vector
+// clock algebra, and topological ordering of causally related intervals
+// (the order in which diffs must be applied).
+package vc
+
+import "fmt"
+
+// VC is a vector timestamp: VC[i] is the index of the most recent interval
+// of processor i whose updates are known.
+type VC []int32
+
+// New returns a zero vector clock for n processors.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// MaxWith raises each component of v to at least the corresponding
+// component of o.
+func (v VC) MaxWith(o VC) {
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Covers reports whether v[i] >= o[i] for all i: every interval known to o
+// is known to v.
+func (v VC) Covers(o VC) bool {
+	for i, x := range o {
+		if v[i] < x {
+			return false
+		}
+	}
+	return true
+}
+
+// Before reports whether v happens strictly before o: o covers v and they
+// differ.
+func (v VC) Before(o VC) bool {
+	return o.Covers(v) && !v.Covers(o)
+}
+
+// Concurrent reports whether neither vector covers the other.
+func (v VC) Concurrent(o VC) bool {
+	return !v.Covers(o) && !o.Covers(v)
+}
+
+// Equal reports component-wise equality.
+func (v VC) Equal(o VC) bool {
+	for i, x := range o {
+		if v[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+func (v VC) String() string { return fmt.Sprint([]int32(v)) }
+
+// WireSize is the encoded size of the vector in bytes.
+func (v VC) WireSize() int { return 4 * len(v) }
+
+// Stamp identifies one interval of one processor together with the vector
+// timestamp at the interval's end.
+type Stamp struct {
+	Proc     int
+	Interval int32
+	VC       VC
+}
+
+// HappensBefore reports whether interval a causally precedes interval b.
+// Same-processor intervals are ordered by index; cross-processor intervals
+// by vector timestamp. (Interval t of proc p "is included in" a VC w when
+// w[p] >= t, so a precedes b exactly when b's end-of-interval vector
+// already covers a.)
+func HappensBefore(a, b Stamp) bool {
+	if a.Proc == b.Proc {
+		return a.Interval < b.Interval
+	}
+	return b.VC[a.Proc] >= a.Interval
+}
+
+// TopoSort orders stamps so that causally earlier intervals come first
+// (the order diffs must be applied in). Concurrent intervals are ordered
+// deterministically by (proc, interval); in a data-race-free program their
+// diffs touch disjoint words, so the tie-break cannot change the merged
+// result. Kahn-style minimal extraction; the per-fault sets are small.
+func TopoSort(stamps []Stamp) {
+	n := len(stamps)
+	remaining := append([]Stamp(nil), stamps...)
+	out := stamps[:0]
+	for len(remaining) > 0 {
+		best := -1
+		for i, s := range remaining {
+			minimal := true
+			for j, t := range remaining {
+				if j != i && HappensBefore(t, s) {
+					minimal = false
+					break
+				}
+			}
+			if !minimal {
+				continue
+			}
+			if best == -1 || s.Proc < remaining[best].Proc ||
+				(s.Proc == remaining[best].Proc && s.Interval < remaining[best].Interval) {
+				best = i
+			}
+		}
+		if best == -1 {
+			panic(fmt.Sprintf("vc: happens-before cycle among %d intervals", n))
+		}
+		out = append(out, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+}
