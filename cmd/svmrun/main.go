@@ -27,8 +27,17 @@ func main() {
 		page    = flag.Int("page", 8192, "page size in bytes")
 		gcThr   = flag.Int64("gc-threshold", 8<<20, "homeless GC trigger, bytes of protocol memory per node")
 		noSeq   = flag.Bool("noseq", false, "skip the sequential baseline run")
+		faults  = flag.String("faults", gosvm.FaultNone, "fault profile: none, lossy, hostile")
+		seed    = flag.Int64("seed", 1, "seed for the fault plan (apps initialize deterministically), so runs reproduce by construction")
+		jsonOut = flag.Bool("json", false, "emit machine-readable JSON statistics instead of text")
 	)
 	flag.Parse()
+
+	plan, err := gosvm.FaultProfile(*faults, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	mk := func() gosvm.App {
 		a, err := apps.New(*appName, apps.Size(*size))
@@ -44,23 +53,35 @@ func main() {
 		NumProcs:    *procs,
 		PageBytes:   *page,
 		GCThreshold: *gcThr,
+		Fault:       plan,
 	}
 	res, err := gosvm.Run(opts, mk())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-
-	fmt.Printf("%s / %s / %d nodes / %s problem\n", *appName, *proto, *procs, *size)
-	fmt.Printf("parallel time: %.2f s (simulated)\n", res.Stats.Elapsed.Micros()/1e6)
 	if !*noSeq {
 		seq, err := gosvm.Sequential(mk(), *page)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("sequential:    %.2f s (simulated)\n", seq.Stats.Elapsed.Micros()/1e6)
-		fmt.Printf("speedup:       %.2f\n", float64(seq.Stats.Elapsed)/float64(res.Stats.Elapsed))
+		res.Stats.SeqTime = seq.Stats.Elapsed
+	}
+
+	if *jsonOut {
+		if err := res.Stats.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s / %s / %d nodes / %s problem\n", *appName, *proto, *procs, *size)
+	fmt.Printf("parallel time: %.2f s (simulated)\n", res.Stats.Elapsed.Micros()/1e6)
+	if !*noSeq {
+		fmt.Printf("sequential:    %.2f s (simulated)\n", res.Stats.SeqTime.Micros()/1e6)
+		fmt.Printf("speedup:       %.2f\n", res.Stats.Speedup())
 	}
 
 	avg := res.Stats.AvgNode()
@@ -90,4 +111,14 @@ func main() {
 	fmt.Fprintf(tw, "  peak protocol memory/node\t%.2f MB\n", float64(res.Stats.PeakProtoMem())/(1<<20))
 	fmt.Fprintf(tw, "  application memory/node\t%.2f MB\n", float64(res.Stats.TotalAppMem())/float64(*procs)/(1<<20))
 	tw.Flush()
+
+	if *faults != gosvm.FaultNone {
+		fmt.Printf("\nfault injection (profile %s, seed %d; per-node average):\n", *faults, *seed)
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  messages dropped\t%d\n", avg.Counts.MsgsDropped)
+		fmt.Fprintf(tw, "  retransmissions\t%d\n", avg.Counts.Retries)
+		fmt.Fprintf(tw, "  duplicates suppressed\t%d\n", avg.Counts.DupsSuppressed)
+		fmt.Fprintf(tw, "  recovery time\t%.2f ms\n", avg.Recovery.Micros()/1e3)
+		tw.Flush()
+	}
 }

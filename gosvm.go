@@ -25,6 +25,7 @@ package gosvm
 
 import (
 	"gosvm/internal/core"
+	"gosvm/internal/fault"
 	"gosvm/internal/mem"
 	"gosvm/internal/paragon"
 	"gosvm/internal/sim"
@@ -90,7 +91,32 @@ type (
 	TraceLog = trace.Log
 	// TraceEvent is one protocol event in a TraceLog.
 	TraceEvent = trace.Event
+	// FaultPlan is a deterministic per-run fault schedule plus
+	// reliability-layer tuning (see Options.Fault).
+	FaultPlan = fault.Plan
+	// FaultTarget is a targeted fault: drop transmissions of one message
+	// kind on one edge (FaultPlan.Targets).
+	FaultTarget = fault.Target
+	// FaultSlowdown is a per-node compute slowdown window
+	// (FaultPlan.Slowdowns).
+	FaultSlowdown = fault.Slowdown
 )
+
+// Fault profile names accepted by FaultProfile.
+const (
+	FaultNone    = fault.ProfileNone
+	FaultLossy   = fault.ProfileLossy
+	FaultHostile = fault.ProfileHostile
+)
+
+// FaultProfiles lists the built-in fault profiles.
+var FaultProfiles = fault.Profiles
+
+// FaultProfile returns a named preset fault plan ("none", "lossy",
+// "hostile") seeded with seed.
+func FaultProfile(name string, seed int64) (FaultPlan, error) {
+	return fault.Profile(name, seed)
+}
 
 // Time units.
 const (

@@ -1,0 +1,48 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"gosvm/internal/core"
+	"gosvm/internal/fault"
+)
+
+// SOR and LU must validate against the sequential reference under the
+// lossy and hostile fault profiles for all four protocols — the
+// acceptance bar for the reliability layer on real workloads.
+func TestAppsUnderFaultProfiles(t *testing.T) {
+	apps := []struct {
+		name string
+		mk   func() core.App
+	}{
+		{"sor", func() core.App { return NewSOR(SizeTest, false) }},
+		{"lu", func() core.App { return NewLU(SizeTest) }},
+	}
+	for _, a := range apps {
+		seq := seqRun(t, a.mk())
+		for _, profile := range []string{fault.ProfileLossy, fault.ProfileHostile} {
+			plan, err := fault.Profile(profile, 1234)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, proto := range core.Protocols {
+				a, proto, profile, plan := a, proto, profile, plan
+				t.Run(fmt.Sprintf("%s/%s/%s", a.name, proto, profile), func(t *testing.T) {
+					opts := core.Options{
+						Protocol:  proto,
+						NumProcs:  4,
+						PageBytes: 1024,
+						Fault:     plan,
+					}
+					res, err := core.Run(opts, a.mk(), false)
+					if err != nil {
+						t.Fatalf("%s/%s/%s: %v", a.name, proto, profile, err)
+					}
+					checkMatch(t, fmt.Sprintf("%s/%s/%s", a.name, proto, profile),
+						seq.Data, res.Data, 0)
+				})
+			}
+		}
+	}
+}

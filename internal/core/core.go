@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 
+	"gosvm/internal/fault"
 	"gosvm/internal/mem"
 	"gosvm/internal/paragon"
 	"gosvm/internal/sim"
@@ -80,6 +81,13 @@ type Options struct {
 	// TraceLimit enables protocol event tracing, retaining up to this
 	// many events (negative = unlimited). Zero disables tracing.
 	TraceLimit int
+
+	// Fault configures deterministic fault injection (message drops,
+	// duplicates, delays, reordering, node slowdowns) plus the transport
+	// reliability layer that recovers from it. The zero Plan is inert:
+	// no injector is built and the message path — and therefore every
+	// statistic — is exactly the fault-free one.
+	Fault fault.Plan
 }
 
 // Defaults fills unset fields.
@@ -192,6 +200,29 @@ type Engine interface {
 
 func badKind(kind int) (sim.Time, func()) {
 	panic(fmt.Sprintf("core: unexpected message kind %d", kind))
+}
+
+// msgKindName renders protocol message kinds for fault watchdog reports.
+func msgKindName(kind int) string {
+	switch kind {
+	case kLockAcq:
+		return "lock-acquire"
+	case kLockFwd:
+		return "lock-forward"
+	case kBarrier:
+		return "barrier"
+	case kGCDone:
+		return "gc-done"
+	case kFetchDiffs:
+		return "fetch-diffs"
+	case kFetchPage:
+		return "fetch-page"
+	case kDiffFlush:
+		return "diff-flush"
+	case kMakeDiff:
+		return "make-diff"
+	}
+	return fmt.Sprintf("kind-%d", kind)
 }
 
 // pageWN is one write notice attached to a page on a node that has not

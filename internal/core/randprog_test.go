@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"gosvm/internal/fault"
 	"gosvm/internal/mem"
 	"gosvm/internal/sim"
 )
@@ -141,6 +142,26 @@ func (rp *randProgram) model() (bar []float64, lockTotals []int) {
 	return bar, lockTotals
 }
 
+// checkRandProgram validates one run's gathered image against the model.
+func checkRandProgram(t *testing.T, label string, rp *randProgram, data []float64, wantBar []float64, wantLocks []int) {
+	t.Helper()
+	for w := 0; w < rp.barWords; w++ {
+		if data[w] != wantBar[w] {
+			t.Fatalf("%s: barrier word %d = %v, want %v (procs=%d rounds=%d page=%d)",
+				label, w, data[w], wantBar[w], rp.procs, rp.rounds, rp.pageSize)
+		}
+	}
+	for l := 0; l < rp.lockSets; l++ {
+		for j := 0; j < rp.lockWper(); j++ {
+			got := data[rp.barWords+l*rp.lockWper()+j]
+			if got != float64(wantLocks[l]) {
+				t.Fatalf("%s: lock domain %d word %d = %v, want %d",
+					label, l, j, got, wantLocks[l])
+			}
+		}
+	}
+}
+
 func TestRandomProgramsAllProtocols(t *testing.T) {
 	protocols := append([]string{}, Protocols...)
 	for seed := int64(1); seed <= 12; seed++ {
@@ -170,22 +191,49 @@ func TestRandomProgramsAllProtocols(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", proto, err)
 				}
-				for w := 0; w < rp.barWords; w++ {
-					if res.Data[w] != wantBar[w] {
-						t.Fatalf("%s: barrier word %d = %v, want %v (procs=%d rounds=%d page=%d)",
-							proto, w, res.Data[w], wantBar[w], rp.procs, rp.rounds, rp.pageSize)
-					}
-				}
-				for l := 0; l < rp.lockSets; l++ {
-					for j := 0; j < rp.lockWper(); j++ {
-						got := res.Data[rp.barWords+l*rp.lockWper()+j]
-						if got != float64(wantLocks[l]) {
-							t.Fatalf("%s: lock domain %d word %d = %v, want %d",
-								proto, l, j, got, wantLocks[l])
-						}
-					}
-				}
+				checkRandProgram(t, proto, rp, res.Data, wantBar, wantLocks)
 			}
 		})
+	}
+}
+
+// The same randomized programs must validate under the lossy and hostile
+// fault profiles: the reliability layer may slow the protocols down but
+// must never change what they compute.
+func TestRandomProgramsUnderFaults(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		for _, profile := range []string{fault.ProfileLossy, fault.ProfileHostile} {
+			seed, profile := seed, profile
+			t.Run(fmt.Sprintf("seed%d/%s", seed, profile), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed * 31337))
+				rp := &randProgram{
+					seed:      seed,
+					procs:     2 + rng.Intn(7),
+					rounds:    2 + rng.Intn(4),
+					barWords:  32 + rng.Intn(200),
+					lockSets:  1 + rng.Intn(4),
+					wordsPerL: 1 + rng.Intn(12),
+					pageSize:  []int{256, 512, 1024}[rng.Intn(3)],
+				}
+				wantBar, wantLocks := rp.model()
+				plan, err := fault.Profile(profile, seed*977)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, proto := range Protocols {
+					opts := Options{
+						Protocol:  proto,
+						NumProcs:  rp.procs,
+						PageBytes: rp.pageSize,
+						Fault:     plan,
+					}
+					res, err := Run(opts, rp, false)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", proto, profile, err)
+					}
+					checkRandProgram(t, proto+"/"+profile, rp, res.Data, wantBar, wantLocks)
+				}
+			})
+		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"gosvm/internal/fault"
 	"gosvm/internal/mem"
 	"gosvm/internal/paragon"
 	"gosvm/internal/sim"
@@ -123,6 +124,12 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 	if opts.Mesh {
 		machine.EnableMesh(0)
 	}
+	var inj *fault.Injector
+	if opts.Fault.Active() {
+		inj = fault.NewInjector(opts.Fault)
+		inj.KindName = msgKindName
+		machine.EnableFaults(inj)
+	}
 	space := mem.NewSpace(opts.PageBytes)
 	sys := &System{
 		K:     k,
@@ -231,6 +238,11 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 	}
 	if err := k.Run(); err != nil {
 		k.Shutdown()
+		if inj != nil {
+			// Attribute the hang to any permanently lost messages before
+			// surfacing it.
+			err = inj.Diagnose(err)
+		}
 		return nil, fmt.Errorf("core: %s/%s: %w", app.Name(), opts.Protocol, err)
 	}
 	k.Shutdown()

@@ -1,0 +1,153 @@
+// Package fault implements deterministic, seeded fault injection for the
+// simulated Paragon network, plus the configuration of the reliability
+// layer that recovers from the injected faults.
+//
+// A Plan describes what goes wrong during a run: per-transmission message
+// drop/duplicate/delay/reorder probabilities, targeted one-shot faults
+// ("drop the Nth diff-flush to home H"), and per-node compute slowdown
+// windows. An Injector turns a Plan into a stream of per-message verdicts
+// drawn from its own self-contained PRNG; because the discrete-event
+// kernel consults it in a deterministic order, a given (plan, seed) pair
+// produces a byte-identical faulty execution every run — a reproducible
+// adversarial scheduler.
+//
+// The zero Plan is inert: no injector is built and the message path is
+// exactly the fault-free one, so statistics of existing runs are
+// unchanged byte for byte.
+package fault
+
+import (
+	"fmt"
+
+	"gosvm/internal/sim"
+)
+
+// Profile names accepted by Profile.
+const (
+	ProfileNone    = "none"
+	ProfileLossy   = "lossy"
+	ProfileHostile = "hostile"
+)
+
+// Profiles lists the built-in fault profiles.
+var Profiles = []string{ProfileNone, ProfileLossy, ProfileHostile}
+
+// AnyNode matches any node in a Target.
+const AnyNode = -1
+
+// Target is a targeted fault: drop transmissions of a specific message
+// kind on a specific edge. The zero Kind matches every kind; From/To set
+// to AnyNode match every node.
+type Target struct {
+	Kind     int  // protocol message kind; 0 matches any kind
+	From, To int  // node ids; AnyNode matches any
+	Reply    bool // match reply transmissions instead of requests
+	// Nth drops only the Nth matching transmission (1-based); 0 drops
+	// every match (a severed edge).
+	Nth int
+}
+
+// Slowdown multiplies node Node's compute work by Factor during the
+// simulated-time window [From, To).
+type Slowdown struct {
+	Node     int
+	From, To sim.Time
+	Factor   float64
+}
+
+// Plan is a complete per-run fault schedule plus reliability tuning.
+// Probabilities apply independently to every message transmission
+// (including retransmissions).
+type Plan struct {
+	Seed int64
+
+	// Message fault probabilities, per transmission.
+	Drop      float64
+	Duplicate float64
+	Delay     float64 // extra latency drawn from U(0, MaxDelay)
+	Reorder   float64 // small jitter from U(0, ReorderWindow), FIFO clamp skipped
+
+	MaxDelay      sim.Time // default 1ms
+	ReorderWindow sim.Time // default 250us
+
+	Targets   []Target
+	Slowdowns []Slowdown
+
+	// Reliability layer tuning (acknowledgement + timeout/retry).
+	RTO         sim.Time // initial retransmit timeout; default 2ms
+	Backoff     float64  // RTO multiplier per retry; default 2
+	MaxAttempts int      // transmissions before giving a message up; default 10
+	// NoRetry disables the reliability layer entirely (no sequence
+	// numbers, acks, dedup, or retransmission): a diagnostic mode that
+	// exposes the protocols' raw behaviour under faults. Drops are then
+	// final and are reported by the watchdog on deadlock.
+	NoRetry bool
+}
+
+// Messaging reports whether the plan injects any message-level fault
+// (which is also what activates the reliability transport).
+func (p *Plan) Messaging() bool {
+	return p.Drop > 0 || p.Duplicate > 0 || p.Delay > 0 || p.Reorder > 0 ||
+		len(p.Targets) > 0
+}
+
+// Active reports whether the plan perturbs the run at all.
+func (p *Plan) Active() bool {
+	return p.Messaging() || len(p.Slowdowns) > 0
+}
+
+// withDefaults fills unset tuning fields.
+func (p Plan) withDefaults() Plan {
+	if p.MaxDelay == 0 {
+		p.MaxDelay = sim.Millisecond
+	}
+	if p.ReorderWindow == 0 {
+		p.ReorderWindow = 250 * sim.Microsecond
+	}
+	if p.RTO == 0 {
+		p.RTO = 2 * sim.Millisecond
+	}
+	if p.Backoff == 0 {
+		p.Backoff = 2
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 10
+	}
+	return p
+}
+
+// Profile returns a named preset plan seeded with seed.
+func Profile(name string, seed int64) (Plan, error) {
+	switch name {
+	case ProfileNone, "":
+		return Plan{}, nil
+	case ProfileLossy:
+		// Mild packet loss and jitter: the protocols should recover with
+		// a handful of retries and no visible result change.
+		return Plan{
+			Seed:      seed,
+			Drop:      0.02,
+			Duplicate: 0.02,
+			Delay:     0.05,
+			MaxDelay:  500 * sim.Microsecond,
+			Reorder:   0.05,
+		}, nil
+	case ProfileHostile:
+		// Adversarial network: heavy loss, duplication, reordering, long
+		// delays, plus compute slowdown windows that skew the schedules
+		// the protocols see.
+		return Plan{
+			Seed:      seed,
+			Drop:      0.10,
+			Duplicate: 0.08,
+			Delay:     0.15,
+			MaxDelay:  2 * sim.Millisecond,
+			Reorder:   0.20,
+			Slowdowns: []Slowdown{
+				{Node: 1, From: 0, To: 50 * sim.Millisecond, Factor: 2},
+				{Node: 2, From: 25 * sim.Millisecond, To: 150 * sim.Millisecond, Factor: 3},
+			},
+		}, nil
+	}
+	return Plan{}, fmt.Errorf("fault: unknown profile %q (have %v)", name, Profiles)
+}

@@ -1,0 +1,99 @@
+package fault
+
+import "gosvm/internal/sim"
+
+// Verdict is the injector's decision about one message transmission.
+type Verdict struct {
+	Drop      bool
+	Duplicate bool     // deliver an extra, unordered copy
+	Delay     sim.Time // extra latency applied to the primary copy
+}
+
+// Injector turns a Plan into a deterministic stream of per-transmission
+// verdicts. The discrete-event kernel consults it from a single
+// goroutine in a deterministic order, so the whole faulty execution
+// replays exactly from (plan, seed).
+type Injector struct {
+	plan       Plan
+	r          rng
+	targetHits []int
+	losses     []Loss
+
+	// KindName, when set, renders protocol message kinds in watchdog
+	// reports ("diff-flush" instead of "kind 7"). The protocol layer owns
+	// the kind namespace, so it installs this.
+	KindName func(kind int) string
+}
+
+// NewInjector builds an injector for plan, filling tuning defaults.
+func NewInjector(plan Plan) *Injector {
+	plan = plan.withDefaults()
+	return &Injector{
+		plan:       plan,
+		r:          newRNG(plan.Seed),
+		targetHits: make([]int, len(plan.Targets)),
+	}
+}
+
+// Plan returns the plan with tuning defaults applied.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Reliable reports whether the reliability transport (acks, dedup,
+// retransmission) should run on top of the faulty network.
+func (in *Injector) Reliable() bool { return in.plan.Messaging() && !in.plan.NoRetry }
+
+// Judge decides the fate of one transmission of a protocol message.
+// Every transmission — including retransmissions — rolls independently.
+func (in *Injector) Judge(from, to, kind int, reply bool) Verdict {
+	var v Verdict
+	for i := range in.plan.Targets {
+		tg := &in.plan.Targets[i]
+		if tg.Kind != 0 && tg.Kind != kind {
+			continue
+		}
+		if tg.Reply != reply {
+			continue
+		}
+		if tg.From != AnyNode && tg.From != from {
+			continue
+		}
+		if tg.To != AnyNode && tg.To != to {
+			continue
+		}
+		in.targetHits[i]++
+		if tg.Nth == 0 || tg.Nth == in.targetHits[i] {
+			v.Drop = true
+		}
+	}
+	if in.r.float() < in.plan.Drop {
+		v.Drop = true
+	}
+	if in.r.float() < in.plan.Duplicate {
+		v.Duplicate = true
+	}
+	if in.r.float() < in.plan.Delay {
+		v.Delay += in.r.timeIn(in.plan.MaxDelay)
+	}
+	if in.r.float() < in.plan.Reorder {
+		v.Delay += in.r.timeIn(in.plan.ReorderWindow)
+	}
+	return v
+}
+
+// JudgeAck decides whether a transport-level acknowledgement is lost.
+// Acks are tiny and carry no payload, so only the drop probability
+// applies; a lost ack simply provokes a (suppressed) retransmission.
+func (in *Injector) JudgeAck() bool {
+	return in.r.float() < in.plan.Drop
+}
+
+// Slow scales compute work d on node at simulated time now according to
+// the plan's slowdown windows. Overlapping windows compound.
+func (in *Injector) Slow(node int, now, d sim.Time) sim.Time {
+	for _, s := range in.plan.Slowdowns {
+		if s.Node == node && now >= s.From && now < s.To && s.Factor > 1 {
+			d = sim.Time(float64(d) * s.Factor)
+		}
+	}
+	return d
+}

@@ -3,6 +3,7 @@ package paragon
 import (
 	"fmt"
 
+	"gosvm/internal/fault"
 	"gosvm/internal/sim"
 	"gosvm/internal/stats"
 )
@@ -29,6 +30,13 @@ type Machine struct {
 	// mesh, when non-nil, routes messages over a 2-D wormhole mesh with
 	// link contention instead of the default crossbar. See EnableMesh.
 	mesh *mesh
+
+	// inj, when non-nil, scales compute work by the fault plan's slowdown
+	// windows; faults, when non-nil, additionally routes inter-node
+	// traffic through the faulty/reliable transport. Both nil in a
+	// fault-free run, leaving every code path untouched.
+	inj    *fault.Injector
+	faults *faultLayer
 }
 
 // New builds an n-node machine on kernel k and starts the per-node
@@ -56,6 +64,25 @@ func New(k *sim.Kernel, n int, costs Costs) *Machine {
 
 // NumNodes returns the machine size.
 func (m *Machine) NumNodes() int { return len(m.Nodes) }
+
+// EnableFaults wires a fault injector into the machine: compute work is
+// scaled by the plan's slowdown windows, and if the plan injects message
+// faults all inter-node traffic is routed through the fault transport
+// (see reliable.go). Must be called before the simulation starts.
+func (m *Machine) EnableFaults(inj *fault.Injector) {
+	m.inj = inj
+	if p := inj.Plan(); p.Messaging() {
+		m.faults = newFaultLayer(m, inj)
+	}
+}
+
+// scale applies any active slowdown window on node to work d.
+func (m *Machine) scale(node int, d sim.Time) sim.Time {
+	if m.inj == nil {
+		return d
+	}
+	return m.inj.Slow(node, m.K.Now(), d)
+}
 
 // Node is one Paragon node: compute processor, communication co-processor,
 // and shared local memory (implicit — protocol state lives in Go objects
@@ -85,7 +112,7 @@ func (n *Node) startDispatchers() {
 		for {
 			m := n.computeQ.Recv(p)
 			work, effect := n.computeH(m)
-			service := n.M.Costs.ReceiveInterrupt + work
+			service := n.M.scale(n.ID, n.M.Costs.ReceiveInterrupt+work)
 			// The interrupt runs on the compute processor: it both
 			// occupies this service loop (serializing back-to-back
 			// requests into hot spots) and steals the time from whatever
@@ -101,7 +128,7 @@ func (n *Node) startDispatchers() {
 		for {
 			m := n.coprocQ.Recv(p)
 			work, effect := n.coprocH(m)
-			p.Sleep(work)
+			p.Sleep(n.M.scale(n.ID, work))
 			if effect != nil {
 				effect()
 			}
@@ -109,35 +136,54 @@ func (n *Node) startDispatchers() {
 	}).SetDaemon()
 }
 
-// Send transmits msg from this node. Delivery is scheduled after the wire
-// time (FIFO per source/destination pair); the receiving dispatcher then
-// serializes service.
-func (n *Node) Send(to int, msg Msg) {
-	msg.From = n.ID
-	n.Stats.Sent(msg.Class, msg.Size+n.M.Costs.MsgHeader)
-	dst := n.M.Nodes[to]
+// arrivalTime computes when a payload of size bytes sent now arrives at
+// node to. When ordered, the per-(src,dst) FIFO clamp is applied and
+// recorded; unordered copies (fault-delayed or duplicate transmissions)
+// may overtake earlier traffic on the same wire.
+func (n *Node) arrivalTime(to, size int, ordered bool) sim.Time {
 	var at sim.Time
 	if ms := n.M.mesh; ms != nil && n.ID != to {
 		// Software latency covers injection; the mesh model adds hop
 		// delay and link contention for the payload.
 		bw := n.M.Costs.BandwidthMBs * 1e6
-		tx := sim.Time(float64(msg.Size+n.M.Costs.MsgHeader) / bw * float64(sim.Second))
+		tx := sim.Time(float64(size+n.M.Costs.MsgHeader) / bw * float64(sim.Second))
 		at = ms.deliver(n.M.K.Now()+n.M.Costs.MsgLatency, n.ID, to, tx)
 	} else {
-		at = n.M.K.Now() + n.M.Costs.Wire(msg.Size)
+		at = n.M.K.Now() + n.M.Costs.Wire(size)
+	}
+	if !ordered {
+		return at
 	}
 	if prev := n.M.lastArrival[n.ID][to]; at <= prev {
 		at = prev + 1
 	}
 	n.M.lastArrival[n.ID][to] = at
-	n.M.K.At(at, func() {
-		switch msg.Target {
-		case ToCompute:
-			dst.computeQ.Push(msg)
-		case ToCoproc:
-			dst.coprocQ.Push(msg)
-		}
-	})
+	return at
+}
+
+// enqueue hands a delivered message to the targeted dispatcher queue.
+func (n *Node) enqueue(msg Msg) {
+	switch msg.Target {
+	case ToCompute:
+		n.computeQ.Push(msg)
+	case ToCoproc:
+		n.coprocQ.Push(msg)
+	}
+}
+
+// Send transmits msg from this node. Delivery is scheduled after the wire
+// time (FIFO per source/destination pair); the receiving dispatcher then
+// serializes service.
+func (n *Node) Send(to int, msg Msg) {
+	msg.From = n.ID
+	if fl := n.M.faults; fl != nil && to != n.ID {
+		fl.send(n, to, msg)
+		return
+	}
+	n.Stats.Sent(msg.Class, msg.Size+n.M.Costs.MsgHeader)
+	dst := n.M.Nodes[to]
+	at := n.arrivalTime(to, msg.Size, true)
+	n.M.K.At(at, func() { dst.enqueue(msg) })
 }
 
 // Call sends a request and blocks p until the reply arrives. The reply is
@@ -145,6 +191,7 @@ func (n *Node) Send(to int, msg Msg) {
 // interrupt is charged on this node.
 func (n *Node) Call(p *sim.Proc, to int, msg Msg) Msg {
 	msg.Reply = NewReply()
+	msg.Reply.owner = n.ID
 	n.Send(to, msg)
 	return msg.Reply.Wait(p)
 }
@@ -156,6 +203,12 @@ func (n *Node) Respond(req Msg, resp Msg) {
 		panic("paragon: Respond to a message with no reply port")
 	}
 	resp.From = n.ID
+	if fl := n.M.faults; fl != nil {
+		if to := req.Reply.dest(req.From); to != n.ID {
+			fl.respond(n, to, req.Reply, resp)
+			return
+		}
+	}
 	n.Stats.Sent(resp.Class, resp.Size+n.M.Costs.MsgHeader)
 	reply := req.Reply
 	n.M.K.After(n.M.Costs.Wire(resp.Size), func() { reply.ch.Push(resp) })
@@ -193,6 +246,7 @@ func (c *CPU) Bind(p *sim.Proc) { c.proc = p }
 // interrupts steal time while the work is in progress, the work is
 // extended and the stolen time is accounted as protocol overhead.
 func (c *CPU) Use(p *sim.Proc, d sim.Time, cat stats.Category) {
+	d = c.node.M.scale(c.node.ID, d)
 	c.busy = true
 	p.Sleep(d)
 	c.node.Stats.Add(cat, d)

@@ -37,11 +37,25 @@ type Msg struct {
 // Reply is a one-shot response port for request/response exchanges.
 type Reply struct {
 	ch *sim.Chan[Msg]
+	// owner is the node whose proc waits on this port, or -1 when unknown.
+	// Call records it so the fault layer can address the reply wire: the
+	// request's From field is overwritten at every forwarding hop and may
+	// no longer name the original requester.
+	owner int
 }
 
 // NewReply returns a fresh response port.
 func NewReply() *Reply {
-	return &Reply{ch: sim.NewChan[Msg]("reply")}
+	return &Reply{ch: sim.NewChan[Msg]("reply"), owner: -1}
+}
+
+// dest resolves the node the response travels to, falling back to the
+// request's From field when the owner was never recorded.
+func (r *Reply) dest(from int) int {
+	if r.owner >= 0 {
+		return r.owner
+	}
+	return from
 }
 
 // Wait blocks p until the response arrives.

@@ -1,0 +1,233 @@
+package paragon
+
+import (
+	"gosvm/internal/fault"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// ackBytes is the payload size of a transport-level acknowledgement: a
+// message id plus a small header, in the spirit of NX-level flow control.
+const ackBytes = 12
+
+// faultLayer is the faulty network plus the reliability transport that
+// recovers from it. Every inter-node transmission receives a unique id;
+// the sender retransmits on an exponential-backoff timer (on the
+// simulated clock) until the receiver's ack lands, and the receiver
+// dedups by id so replayed requests, replies, and injected duplicates
+// are delivered exactly once. With Plan.NoRetry the same machinery
+// delivers raw faulty traffic — no ids on the wire, no acks, no
+// retransmission — to expose the protocols' unprotected behaviour.
+//
+// All state is touched only from the simulation goroutine, so no locking
+// is needed and the execution stays deterministic.
+type faultLayer struct {
+	m   *Machine
+	inj *fault.Injector
+
+	reliable    bool
+	rto         sim.Time
+	backoff     float64
+	maxAttempts int
+
+	nextID  uint64
+	pending map[uint64]*netMsg
+	// seen holds, per destination node, the ids already delivered there.
+	seen []map[uint64]struct{}
+}
+
+// netMsg is one logical message in flight: the transport retransmits the
+// same id until it is acked or given up on.
+type netMsg struct {
+	id        uint64
+	src, dst  int
+	kind      int
+	class     stats.Class
+	reply     bool
+	attempts  int
+	firstSent sim.Time
+	acked     bool
+	lost      bool
+
+	// transmit puts one (possibly faulty) copy on the wire; deliver hands
+	// the payload to the destination exactly once.
+	transmit func(fault.Verdict)
+	deliver  func()
+}
+
+func newFaultLayer(m *Machine, inj *fault.Injector) *faultLayer {
+	p := inj.Plan()
+	fl := &faultLayer{
+		m:           m,
+		inj:         inj,
+		reliable:    inj.Reliable(),
+		rto:         p.RTO,
+		backoff:     p.Backoff,
+		maxAttempts: p.MaxAttempts,
+		pending:     make(map[uint64]*netMsg),
+		seen:        make([]map[uint64]struct{}, len(m.Nodes)),
+	}
+	for i := range fl.seen {
+		fl.seen[i] = make(map[uint64]struct{})
+	}
+	return fl
+}
+
+// send routes a one-way or request message through the faulty network.
+func (fl *faultLayer) send(n *Node, to int, msg Msg) {
+	fl.nextID++
+	nm := &netMsg{
+		id:        fl.nextID,
+		src:       n.ID,
+		dst:       to,
+		kind:      msg.Kind,
+		class:     msg.Class,
+		firstSent: fl.m.K.Now(),
+	}
+	dst := fl.m.Nodes[to]
+	nm.deliver = func() { dst.enqueue(msg) }
+	nm.transmit = func(v fault.Verdict) {
+		n.Stats.Sent(msg.Class, msg.Size+fl.m.Costs.MsgHeader)
+		if v.Drop {
+			fl.dropped(nm)
+			return
+		}
+		// A delayed primary copy leaves the FIFO order, as do duplicates:
+		// both model packets straggling through the mesh.
+		at := n.arrivalTime(to, msg.Size, v.Delay == 0) + v.Delay
+		fl.m.K.At(at, func() { fl.arrive(nm) })
+		if v.Duplicate {
+			at2 := n.arrivalTime(to, msg.Size, false)
+			fl.m.K.At(at2, func() { fl.arrive(nm) })
+		}
+	}
+	fl.launch(nm)
+}
+
+// respond routes a reply through the faulty network to node to, the
+// original requester (whose proc polls reply.ch).
+func (fl *faultLayer) respond(n *Node, to int, reply *Reply, resp Msg) {
+	fl.nextID++
+	nm := &netMsg{
+		id:        fl.nextID,
+		src:       n.ID,
+		dst:       to,
+		kind:      resp.Kind,
+		class:     resp.Class,
+		reply:     true,
+		firstSent: fl.m.K.Now(),
+	}
+	nm.deliver = func() { reply.ch.Push(resp) }
+	nm.transmit = func(v fault.Verdict) {
+		n.Stats.Sent(resp.Class, resp.Size+fl.m.Costs.MsgHeader)
+		if v.Drop {
+			fl.dropped(nm)
+			return
+		}
+		wire := fl.m.Costs.Wire(resp.Size)
+		fl.m.K.After(wire+v.Delay, func() { fl.arrive(nm) })
+		if v.Duplicate {
+			fl.m.K.After(wire, func() { fl.arrive(nm) })
+		}
+	}
+	fl.launch(nm)
+}
+
+// launch puts the first copy on the wire and, when the reliability layer
+// is on, arms the retransmission timer.
+func (fl *faultLayer) launch(nm *netMsg) {
+	nm.attempts = 1
+	nm.transmit(fl.inj.Judge(nm.src, nm.dst, nm.kind, nm.reply))
+	if fl.reliable {
+		fl.pending[nm.id] = nm
+		fl.scheduleRetry(nm, fl.rto)
+	}
+}
+
+// dropped accounts a copy the network ate. Without the reliability layer
+// that loss is final, so it is recorded for the watchdog right away.
+func (fl *faultLayer) dropped(nm *netMsg) {
+	fl.m.Nodes[nm.src].Stats.Counts.MsgsDropped++
+	if !fl.reliable {
+		fl.inj.RecordLoss(fault.Loss{
+			At:       fl.m.K.Now(),
+			From:     nm.src,
+			To:       nm.dst,
+			Kind:     nm.kind,
+			Reply:    nm.reply,
+			Attempts: nm.attempts,
+		})
+	}
+}
+
+// arrive runs when a copy reaches the destination. Under the reliability
+// layer the id is deduped (replays and injected duplicates deliver
+// exactly once) and every copy is acknowledged.
+func (fl *faultLayer) arrive(nm *netMsg) {
+	if !fl.reliable {
+		nm.deliver()
+		return
+	}
+	if _, dup := fl.seen[nm.dst][nm.id]; dup {
+		fl.m.Nodes[nm.dst].Stats.Counts.DupsSuppressed++
+		fl.sendAck(nm)
+		return
+	}
+	fl.seen[nm.dst][nm.id] = struct{}{}
+	fl.sendAck(nm)
+	nm.deliver()
+}
+
+// sendAck returns a tiny acknowledgement to the sender. Acks themselves
+// cross the faulty network (drop only — a lost ack just provokes one
+// more suppressed retransmission).
+func (fl *faultLayer) sendAck(nm *netMsg) {
+	fl.m.Nodes[nm.dst].Stats.Sent(stats.ClassProtocol, ackBytes+fl.m.Costs.MsgHeader)
+	if fl.inj.JudgeAck() {
+		fl.m.Nodes[nm.dst].Stats.Counts.MsgsDropped++
+		return
+	}
+	fl.m.K.After(fl.m.Costs.Wire(ackBytes), func() { fl.ackArrived(nm) })
+}
+
+func (fl *faultLayer) ackArrived(nm *netMsg) {
+	if nm.acked || nm.lost {
+		return
+	}
+	nm.acked = true
+	delete(fl.pending, nm.id)
+	if nm.attempts > 1 {
+		// Recovery time: how long the loss stalled this message beyond a
+		// clean first-attempt round trip.
+		fl.m.Nodes[nm.src].Stats.Recovery += fl.m.K.Now() - nm.firstSent
+	}
+}
+
+// scheduleRetry arms one retransmission timer. At most one timer per
+// message is outstanding; the chain ends on ack, on give-up, or with a
+// final no-op firing after the ack lands.
+func (fl *faultLayer) scheduleRetry(nm *netMsg, wait sim.Time) {
+	fl.m.K.After(wait, func() {
+		if nm.acked || nm.lost {
+			return
+		}
+		if nm.attempts >= fl.maxAttempts {
+			nm.lost = true
+			delete(fl.pending, nm.id)
+			fl.inj.RecordLoss(fault.Loss{
+				At:       fl.m.K.Now(),
+				From:     nm.src,
+				To:       nm.dst,
+				Kind:     nm.kind,
+				Reply:    nm.reply,
+				Attempts: nm.attempts,
+				GaveUp:   true,
+			})
+			return
+		}
+		nm.attempts++
+		fl.m.Nodes[nm.src].Stats.Counts.Retries++
+		nm.transmit(fl.inj.Judge(nm.src, nm.dst, nm.kind, nm.reply))
+		fl.scheduleRetry(nm, sim.Time(float64(wait)*fl.backoff))
+	})
+}

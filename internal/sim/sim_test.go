@@ -374,3 +374,27 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// The deadlock report must name both the blocked proc and what it waits
+// on: the fault watchdog composes its lost-message diagnosis with this
+// text, so "who is stuck, on which channel" has to survive verbatim.
+func TestDeadlockReportNamesProcAndChannel(t *testing.T) {
+	k := NewKernel()
+	c := NewChan[int]("reply")
+	k.Spawn("app0", 0, func(p *Proc) {
+		c.Recv(p) // nobody ever pushes: an undelivered reply
+	})
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want 1 proc", de.Blocked)
+	}
+	msg := de.Error()
+	if !strings.Contains(msg, "app0") || !strings.Contains(msg, "recv reply") {
+		t.Fatalf("report does not name the blocked proc and channel: %v", msg)
+	}
+	k.Shutdown()
+}

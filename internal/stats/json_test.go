@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunJSON(t *testing.T) {
+	a := &Node{}
+	a.Add(CatCompute, 100)
+	a.Add(CatBarrier, 40)
+	a.Counts.ReadMisses = 5
+	a.Counts.Retries = 2
+	a.Counts.DupsSuppressed = 1
+	a.Counts.MsgsDropped = 3
+	a.Recovery = 777
+	a.Sent(ClassData, 1000)
+	a.MemAlloc(500)
+	b := &Node{}
+	b.Add(CatCompute, 300)
+	b.Sent(ClassProtocol, 200)
+	r := &Run{Protocol: "hlrc", App: "sor", Nodes: []*Node{a, b}, Elapsed: 400, SeqTime: 800}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		App       string  `json:"app"`
+		Protocol  string  `json:"protocol"`
+		Procs     int     `json:"procs"`
+		ElapsedNs int64   `json:"elapsed_ns"`
+		SeqNs     int64   `json:"seq_ns"`
+		Speedup   float64 `json:"speedup"`
+		TotalMsgs int64   `json:"total_msgs"`
+		DataBytes int64   `json:"data_bytes"`
+		Nodes     []struct {
+			TimeNs     map[string]int64 `json:"time_ns"`
+			Counts     map[string]int64 `json:"counts"`
+			RecoveryNs int64            `json:"recovery_ns"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got.App != "sor" || got.Protocol != "hlrc" || got.Procs != 2 {
+		t.Fatalf("header wrong: %+v", got)
+	}
+	if got.ElapsedNs != 400 || got.SeqNs != 800 || got.Speedup != 2 {
+		t.Fatalf("times wrong: %+v", got)
+	}
+	if got.TotalMsgs != 2 || got.DataBytes != 1000 {
+		t.Fatalf("totals wrong: %+v", got)
+	}
+	if len(got.Nodes) != 2 {
+		t.Fatalf("nodes = %d", len(got.Nodes))
+	}
+	n0 := got.Nodes[0]
+	if n0.TimeNs["compute"] != 100 || n0.TimeNs["barrier"] != 40 {
+		t.Fatalf("node time map wrong: %+v", n0.TimeNs)
+	}
+	if n0.Counts["read_misses"] != 5 || n0.Counts["retries"] != 2 ||
+		n0.Counts["dups_suppressed"] != 1 || n0.Counts["msgs_dropped"] != 3 {
+		t.Fatalf("node counts wrong: %+v", n0.Counts)
+	}
+	if n0.RecoveryNs != 777 {
+		t.Fatalf("recovery = %d", n0.RecoveryNs)
+	}
+
+	// Byte-identical on re-marshal: the output must be deterministic.
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("JSON output is not deterministic")
+	}
+}

@@ -66,6 +66,12 @@ type Counters struct {
 	LockAcquires int64 // remote lock acquires
 	Barriers     int64
 	GCs          int64 // garbage collections participated in
+
+	// Fault-injection / reliability-layer counters. All zero in a
+	// fault-free run.
+	Retries        int64 // transport retransmissions issued by this node
+	DupsSuppressed int64 // duplicate deliveries deduped at this node
+	MsgsDropped    int64 // copies the faulty network ate (sent by this node)
 }
 
 // Node accumulates statistics for one simulated node.
@@ -81,6 +87,11 @@ type Node struct {
 	ProtoMemPeak int64
 	// AppMem is the shared application memory instantiated on this node.
 	AppMem int64
+
+	// Recovery is simulated time spent recovering lost messages: for each
+	// message that needed retransmission, the span from first send to
+	// final acknowledgement. Zero in a fault-free run.
+	Recovery sim.Time
 }
 
 // Add charges d to category c.
@@ -128,14 +139,17 @@ func (n Node) Sub(o Node) Node {
 		d.Time[i] = n.Time[i] - o.Time[i]
 	}
 	d.Counts = Counters{
-		ReadMisses:   n.Counts.ReadMisses - o.Counts.ReadMisses,
-		WriteFaults:  n.Counts.WriteFaults - o.Counts.WriteFaults,
-		DiffsCreated: n.Counts.DiffsCreated - o.Counts.DiffsCreated,
-		DiffsApplied: n.Counts.DiffsApplied - o.Counts.DiffsApplied,
-		PagesFetched: n.Counts.PagesFetched - o.Counts.PagesFetched,
-		LockAcquires: n.Counts.LockAcquires - o.Counts.LockAcquires,
-		Barriers:     n.Counts.Barriers - o.Counts.Barriers,
-		GCs:          n.Counts.GCs - o.Counts.GCs,
+		ReadMisses:     n.Counts.ReadMisses - o.Counts.ReadMisses,
+		WriteFaults:    n.Counts.WriteFaults - o.Counts.WriteFaults,
+		DiffsCreated:   n.Counts.DiffsCreated - o.Counts.DiffsCreated,
+		DiffsApplied:   n.Counts.DiffsApplied - o.Counts.DiffsApplied,
+		PagesFetched:   n.Counts.PagesFetched - o.Counts.PagesFetched,
+		LockAcquires:   n.Counts.LockAcquires - o.Counts.LockAcquires,
+		Barriers:       n.Counts.Barriers - o.Counts.Barriers,
+		GCs:            n.Counts.GCs - o.Counts.GCs,
+		Retries:        n.Counts.Retries - o.Counts.Retries,
+		DupsSuppressed: n.Counts.DupsSuppressed - o.Counts.DupsSuppressed,
+		MsgsDropped:    n.Counts.MsgsDropped - o.Counts.MsgsDropped,
 	}
 	for i := range n.MsgsOut {
 		d.MsgsOut[i] = n.MsgsOut[i] - o.MsgsOut[i]
@@ -144,6 +158,7 @@ func (n Node) Sub(o Node) Node {
 	d.ProtoMem = n.ProtoMem - o.ProtoMem
 	d.ProtoMemPeak = n.ProtoMemPeak
 	d.AppMem = n.AppMem
+	d.Recovery = n.Recovery - o.Recovery
 	return d
 }
 
@@ -191,12 +206,16 @@ func (r *Run) AvgNode() Node {
 		sum.Counts.LockAcquires += nd.Counts.LockAcquires
 		sum.Counts.Barriers += nd.Counts.Barriers
 		sum.Counts.GCs += nd.Counts.GCs
+		sum.Counts.Retries += nd.Counts.Retries
+		sum.Counts.DupsSuppressed += nd.Counts.DupsSuppressed
+		sum.Counts.MsgsDropped += nd.Counts.MsgsDropped
 		for i := range sum.MsgsOut {
 			sum.MsgsOut[i] += nd.MsgsOut[i]
 			sum.Bytes[i] += nd.Bytes[i]
 		}
 		sum.ProtoMemPeak += nd.ProtoMemPeak
 		sum.AppMem += nd.AppMem
+		sum.Recovery += nd.Recovery
 	}
 	for i := range avg.Time {
 		avg.Time[i] = sum.Time[i] / sim.Time(n)
@@ -209,12 +228,16 @@ func (r *Run) AvgNode() Node {
 	avg.Counts.LockAcquires = sum.Counts.LockAcquires / n
 	avg.Counts.Barriers = sum.Counts.Barriers / n
 	avg.Counts.GCs = sum.Counts.GCs / n
+	avg.Counts.Retries = sum.Counts.Retries / n
+	avg.Counts.DupsSuppressed = sum.Counts.DupsSuppressed / n
+	avg.Counts.MsgsDropped = sum.Counts.MsgsDropped / n
 	for i := range avg.MsgsOut {
 		avg.MsgsOut[i] = sum.MsgsOut[i] / n
 		avg.Bytes[i] = sum.Bytes[i] / n
 	}
 	avg.ProtoMemPeak = sum.ProtoMemPeak / n
 	avg.AppMem = sum.AppMem / n
+	avg.Recovery = sum.Recovery / sim.Time(n)
 	return avg
 }
 
