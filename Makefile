@@ -1,0 +1,34 @@
+# Developer entry points; CI runs the same gates (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check sweep-faults bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (same gate as CI).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+check: fmt vet build test
+
+# The Table-2 speedup grid under every fault profile, with per-cell JSON
+# statistics. Crash cells run the home-based protocols with one replica.
+sweep-faults:
+	$(GO) run ./cmd/svmbench -faults lossy,hostile,crash -size small -json-dir out/faults
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -92,11 +92,11 @@ func BenchmarkTable5_Traffic(b *testing.B) {
 		b.Run(app, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := benchRunner()
-				for _, proto := range []string{gosvm.LRC, gosvm.HLRC} {
+				for _, proto := range []gosvm.Protocol{gosvm.LRC, gosvm.HLRC} {
 					res := r.Run(app, proto, 8)
-					b.ReportMetric(float64(res.Stats.TotalMsgs()), proto+"-msgs")
-					b.ReportMetric(float64(res.Stats.TotalBytes(stats.ClassData))/(1<<20), proto+"-dataMB")
-					b.ReportMetric(float64(res.Stats.TotalBytes(stats.ClassProtocol))/(1<<20), proto+"-protoMB")
+					b.ReportMetric(float64(res.Stats.TotalMsgs()), proto.String()+"-msgs")
+					b.ReportMetric(float64(res.Stats.TotalBytes(stats.ClassData))/(1<<20), proto.String()+"-dataMB")
+					b.ReportMetric(float64(res.Stats.TotalBytes(stats.ClassProtocol))/(1<<20), proto.String()+"-protoMB")
 				}
 			}
 		})
@@ -109,9 +109,9 @@ func BenchmarkTable6_Memory(b *testing.B) {
 		b.Run(app, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := benchRunner()
-				for _, proto := range []string{gosvm.LRC, gosvm.HLRC} {
+				for _, proto := range []gosvm.Protocol{gosvm.LRC, gosvm.HLRC} {
 					res := r.Run(app, proto, 8)
-					b.ReportMetric(float64(res.Stats.PeakProtoMem())/1024, proto+"-protoKB")
+					b.ReportMetric(float64(res.Stats.PeakProtoMem())/1024, proto.String()+"-protoKB")
 				}
 			}
 		})
@@ -141,8 +141,8 @@ func BenchmarkFig3_Breakdowns(b *testing.B) {
 // BenchmarkFig4_PerProcPhases reproduces the per-processor inter-barrier
 // breakdown instrumentation on Water-Nsquared.
 func BenchmarkFig4_PerProcPhases(b *testing.B) {
-	for _, proto := range []string{gosvm.LRC, gosvm.HLRC} {
-		b.Run(proto, func(b *testing.B) {
+	for _, proto := range []gosvm.Protocol{gosvm.LRC, gosvm.HLRC} {
+		b.Run(proto.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				app, err := apps.New("water-nsq", apps.SizeTest)
 				if err != nil {

@@ -33,6 +33,9 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate everything")
 		procsFlag = flag.String("procs", "8,32,64", "machine sizes")
 		page      = flag.Int("page", 8192, "page size in bytes")
+		faults    = flag.String("faults", "", "comma-separated fault profiles to sweep (lossy, hostile, crash)")
+		seed      = flag.Int64("seed", 1, "seed for the -faults plans")
+		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics of the -faults sweep here")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
 	)
 	flag.Parse()
@@ -102,8 +105,19 @@ func main() {
 		section()
 		r.Ablations(out)
 	}
+	if *faults != "" {
+		section()
+		var profiles []string
+		for _, s := range strings.Split(*faults, ",") {
+			profiles = append(profiles, strings.TrimSpace(s))
+		}
+		if err := r.FaultSweep(out, profiles, *seed, *jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if !any {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -fig N, -sor0, or -ablations")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -fig N, -sor0, -ablations, or -faults")
 		os.Exit(2)
 	}
 }

@@ -20,19 +20,26 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "sor", "application: lu, sor, sor-zero, water-nsq, water-sp, raytrace, fft")
-		proto   = flag.String("proto", gosvm.HLRC, "protocol: lrc, olrc, hlrc, ohlrc, aurc")
-		procs   = flag.Int("procs", 8, "number of nodes")
-		size    = flag.String("size", "small", "problem size: test, small, paper")
-		page    = flag.Int("page", 8192, "page size in bytes")
-		gcThr   = flag.Int64("gc-threshold", 8<<20, "homeless GC trigger, bytes of protocol memory per node")
-		noSeq   = flag.Bool("noseq", false, "skip the sequential baseline run")
-		faults  = flag.String("faults", gosvm.FaultNone, "fault profile: none, lossy, hostile")
-		seed    = flag.Int64("seed", 1, "seed for the fault plan (apps initialize deterministically), so runs reproduce by construction")
-		jsonOut = flag.Bool("json", false, "emit machine-readable JSON statistics instead of text")
+		appName  = flag.String("app", "sor", "application: lu, sor, sor-zero, water-nsq, water-sp, raytrace, fft")
+		protoStr = flag.String("proto", gosvm.HLRC.String(), "protocol: lrc, olrc, hlrc, ohlrc, aurc")
+		procs    = flag.Int("procs", 8, "number of nodes")
+		size     = flag.String("size", "small", "problem size: test, small, paper")
+		page     = flag.Int("page", 8192, "page size in bytes")
+		gcThr    = flag.Int64("gc-threshold", 8<<20, "homeless GC trigger, bytes of protocol memory per node")
+		noSeq    = flag.Bool("noseq", false, "skip the sequential baseline run")
+		faults   = flag.String("faults", gosvm.FaultNone, "fault profile: none, lossy, hostile, crash")
+		seed     = flag.Int64("seed", 1, "seed for the fault plan (apps initialize deterministically), so runs reproduce by construction")
+		replicas = flag.Int("replicas", 0, "home-state replicas per home (required to survive crashes; hlrc/ohlrc only)")
+		ckpt     = flag.Duration("ckpt", 0, "checkpoint period in simulated time (0 = eager mirroring; requires -replicas)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON statistics instead of text")
 	)
 	flag.Parse()
 
+	proto, err := gosvm.ParseProtocol(*protoStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	plan, err := gosvm.FaultProfile(*faults, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -48,13 +55,14 @@ func main() {
 		return a
 	}
 
-	opts := gosvm.Options{
-		Protocol:    *proto,
-		NumProcs:    *procs,
-		PageBytes:   *page,
-		GCThreshold: *gcThr,
-		Fault:       plan,
-	}
+	opts := gosvm.NewOptions(proto,
+		gosvm.WithProcs(*procs),
+		gosvm.WithPageBytes(*page),
+		gosvm.WithGCThreshold(*gcThr),
+		gosvm.WithFaults(plan),
+		gosvm.WithReplication(*replicas),
+		gosvm.WithCheckpointEvery(gosvm.Time(ckpt.Nanoseconds())),
+	)
 	res, err := gosvm.Run(opts, mk())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -77,7 +85,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%s / %s / %d nodes / %s problem\n", *appName, *proto, *procs, *size)
+	fmt.Printf("%s / %s / %d nodes / %s problem\n", *appName, proto, *procs, *size)
 	fmt.Printf("parallel time: %.2f s (simulated)\n", res.Stats.Elapsed.Micros()/1e6)
 	if !*noSeq {
 		fmt.Printf("sequential:    %.2f s (simulated)\n", res.Stats.SeqTime.Micros()/1e6)
@@ -119,6 +127,26 @@ func main() {
 		fmt.Fprintf(tw, "  retransmissions\t%d\n", avg.Counts.Retries)
 		fmt.Fprintf(tw, "  duplicates suppressed\t%d\n", avg.Counts.DupsSuppressed)
 		fmt.Fprintf(tw, "  recovery time\t%.2f ms\n", avg.Recovery.Micros()/1e3)
+		tw.Flush()
+	}
+
+	var rehomed, replicaBytes int64
+	var detect gosvm.Time
+	for _, nd := range res.Stats.Nodes {
+		rehomed += nd.Counts.PagesRehomed
+		replicaBytes += nd.ReplicaBytes
+		if nd.Detect > detect {
+			detect = nd.Detect
+		}
+	}
+	if rehomed > 0 || replicaBytes > 0 {
+		fmt.Printf("\ncrash recovery (replicas %d):\n", *replicas)
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  pages re-homed\t%d\n", rehomed)
+		fmt.Fprintf(tw, "  replication traffic\t%.2f MB\n", float64(replicaBytes)/(1<<20))
+		if detect > 0 {
+			fmt.Fprintf(tw, "  failure detection latency\t%.2f ms\n", detect.Micros()/1e3)
+		}
 		tw.Flush()
 	}
 }

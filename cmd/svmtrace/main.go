@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		appName  = flag.String("app", "sor", "application: lu, sor, sor-zero, water-nsq, water-sp, raytrace, fft")
-		proto    = flag.String("proto", gosvm.HLRC, "protocol: lrc, olrc, hlrc, ohlrc, aurc")
+		protoStr = flag.String("proto", gosvm.HLRC.String(), "protocol: lrc, olrc, hlrc, ohlrc, aurc")
 		procs    = flag.Int("procs", 4, "number of nodes")
 		size     = flag.String("size", "test", "problem size: test, small, paper")
 		page     = flag.Int("page", 4096, "page size in bytes")
@@ -35,13 +35,18 @@ func main() {
 	)
 	flag.Parse()
 
+	proto, err := gosvm.ParseProtocol(*protoStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	app, err := apps.New(*appName, apps.Size(*size))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	res, err := gosvm.Run(gosvm.Options{
-		Protocol:   *proto,
+		Protocol:   proto,
 		NumProcs:   *procs,
 		PageBytes:  *page,
 		TraceLimit: *limit,

@@ -82,7 +82,7 @@ func main() {
 	fmt.Println()
 	fmt.Printf("%8s  %10s %10s %10s %10s   %s\n", "nodes", "LRC", "OLRC", "HLRC", "OHLRC", "HLRC/LRC gain")
 	for _, procs := range []int{4, 8, 16, 32} {
-		times := map[string]float64{}
+		times := map[gosvm.Protocol]float64{}
 		for _, proto := range gosvm.Protocols {
 			app := &falseSharing{words: 4096, rounds: 3}
 			res, err := gosvm.Run(gosvm.Options{

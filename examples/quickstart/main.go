@@ -66,11 +66,12 @@ func (a *piApp) Gather(c *gosvm.Ctx) []float64 {
 }
 
 func main() {
-	opts := gosvm.Options{
-		Protocol:  gosvm.HLRC, // the paper's home-based protocol
-		NumProcs:  8,
-		PageBytes: 4096,
-	}
+	// Functional options over the HLRC protocol (the paper's home-based
+	// protocol); gosvm.Options{...} literal construction works too.
+	opts := gosvm.NewOptions(gosvm.HLRC,
+		gosvm.WithProcs(8),
+		gosvm.WithPageBytes(4096),
+	)
 	res, err := gosvm.Run(opts, &piApp{steps: 1 << 20})
 	if err != nil {
 		log.Fatal(err)

@@ -112,7 +112,7 @@ func (a *stencil) Gather(c *gosvm.Ctx) []float64 {
 
 func main() {
 	const procs = 16
-	for _, proto := range []string{gosvm.LRC, gosvm.HLRC} {
+	for _, proto := range []gosvm.Protocol{gosvm.LRC, gosvm.HLRC} {
 		app := &stencil{h: 256, w: 256, iters: 20}
 		res, err := gosvm.Run(gosvm.Options{
 			Protocol:  proto,

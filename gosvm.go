@@ -33,6 +33,10 @@ import (
 	"gosvm/internal/trace"
 )
 
+// Protocol identifies one of the simulated coherence protocols.
+// Use ParseProtocol to validate external input (flags, config).
+type Protocol = core.Protocol
+
 // Protocol names.
 const (
 	// Seq runs the application sequentially with no coherence protocol:
@@ -58,6 +62,10 @@ const (
 
 // Protocols lists the four SVM protocols in the paper's order.
 var Protocols = core.Protocols
+
+// ParseProtocol validates a protocol name, accepting exactly the names
+// of the exported Protocol constants.
+func ParseProtocol(s string) (Protocol, error) { return core.ParseProtocol(s) }
 
 // Re-exported building blocks. The aliases make the internal packages'
 // types part of the public API without duplicating them.
@@ -100,6 +108,28 @@ type (
 	// FaultSlowdown is a per-node compute slowdown window
 	// (FaultPlan.Slowdowns).
 	FaultSlowdown = fault.Slowdown
+	// Crash schedules one node outage: the node stops servicing messages
+	// and freezes computation at At, restarting at RestartAt (zero =
+	// never). See FaultPlan.Crashes and Options.Recovery.
+	Crash = fault.Crash
+	// Recovery configures home-state replication and re-homing for the
+	// home-based protocols (see Options.Recovery, WithReplication).
+	Recovery = core.Recovery
+)
+
+// Structured errors. Use errors.As to detect them under the wrapping
+// applied by Run.
+type (
+	// DeadlockError reports a simulation deadlock: every non-daemon
+	// process is blocked. Its Blocked field lists who waits on what.
+	DeadlockError = sim.DeadlockError
+	// HangError wraps a DeadlockError when fault injection permanently
+	// lost messages, listing the lost messages that explain the hang.
+	HangError = fault.HangError
+	// NodeDeadError reports an unrecoverable node crash: the node homed
+	// pages and no replica could take them over (Recovery.Replicas too
+	// small), or the node never restarts and its computation is lost.
+	NodeDeadError = fault.NodeDeadError
 )
 
 // Fault profile names accepted by FaultProfile.
@@ -107,15 +137,63 @@ const (
 	FaultNone    = fault.ProfileNone
 	FaultLossy   = fault.ProfileLossy
 	FaultHostile = fault.ProfileHostile
+	FaultCrash   = fault.ProfileCrash
 )
 
 // FaultProfiles lists the built-in fault profiles.
 var FaultProfiles = fault.Profiles
 
 // FaultProfile returns a named preset fault plan ("none", "lossy",
-// "hostile") seeded with seed.
+// "hostile", "crash") seeded with seed.
 func FaultProfile(name string, seed int64) (FaultPlan, error) {
 	return fault.Profile(name, seed)
+}
+
+// Option is a functional setting for NewOptions. Options remains a
+// plain struct — the two construction styles are interchangeable.
+type Option func(*Options)
+
+// NewOptions builds an Options for the given protocol, applying opts
+// over the defaults.
+func NewOptions(p Protocol, opts ...Option) Options {
+	o := Options{Protocol: p}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithProcs sets the machine size (number of nodes).
+func WithProcs(n int) Option { return func(o *Options) { o.NumProcs = n } }
+
+// WithPageBytes sets the SVM page size in bytes.
+func WithPageBytes(n int) Option { return func(o *Options) { o.PageBytes = n } }
+
+// WithCosts replaces the machine cost model.
+func WithCosts(c Costs) Option { return func(o *Options) { o.Costs = c } }
+
+// WithGCThreshold sets the homeless protocols' garbage-collection
+// trigger (bytes of protocol memory per node).
+func WithGCThreshold(bytes int64) Option {
+	return func(o *Options) { o.GCThreshold = bytes }
+}
+
+// WithFaults installs a deterministic fault plan (message loss,
+// duplication, delay, node slowdowns, crashes).
+func WithFaults(p FaultPlan) Option { return func(o *Options) { o.Fault = p } }
+
+// WithReplication mirrors each home's page state onto its k successor
+// nodes so a crashed home's pages can be re-homed (home-based protocols
+// only). Without it, a crash of a node that homes pages is fatal.
+func WithReplication(k int) Option {
+	return func(o *Options) { o.Recovery.Replicas = k }
+}
+
+// WithCheckpointEvery switches replication from eager diff mirroring to
+// periodic checkpointing every d of simulated time (requires
+// WithReplication).
+func WithCheckpointEvery(d Time) Option {
+	return func(o *Options) { o.Recovery.CheckpointEvery = d }
 }
 
 // Time units.
@@ -163,9 +241,16 @@ func Sequential(app App, pageBytes int) (*Result, error) {
 }
 
 // Speedup runs app sequentially and in parallel and returns the ratio of
-// simulated execution times, along with both results.
+// simulated execution times, along with both results. The sequential
+// baseline uses the same cost model as the parallel run — comparing
+// runs under different Costs would make the ratio meaningless.
 func Speedup(opts Options, mk func() App) (float64, *Result, *Result, error) {
-	seq, err := Sequential(mk(), opts.PageBytes)
+	seq, err := core.Run(Options{
+		Protocol:  Seq,
+		NumProcs:  1,
+		PageBytes: opts.PageBytes,
+		Costs:     opts.Costs,
+	}, mk(), false)
 	if err != nil {
 		return 0, nil, nil, err
 	}

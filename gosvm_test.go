@@ -1,0 +1,160 @@
+package gosvm_test
+
+import (
+	"errors"
+	"testing"
+
+	"gosvm"
+)
+
+// counter is a minimal App for exercising the public API surface.
+type counter struct {
+	addr gosvm.Addr
+}
+
+func (c *counter) Name() string         { return "counter" }
+func (c *counter) Setup(s *gosvm.Setup) { c.addr = s.Alloc(1) }
+func (c *counter) Init(w *gosvm.Init)   { w.Store(c.addr, 0) }
+func (c *counter) Gather(ctx *gosvm.Ctx) []float64 {
+	return []float64{ctx.Load(c.addr)}
+}
+func (c *counter) Worker(ctx *gosvm.Ctx, id int) {
+	for i := 0; i < 3; i++ {
+		ctx.Compute(50 * gosvm.Microsecond)
+		ctx.Lock(0)
+		ctx.Store(c.addr, ctx.Load(c.addr)+1)
+		ctx.Unlock(0)
+	}
+	ctx.Barrier(0)
+}
+
+func TestParseProtocol(t *testing.T) {
+	for _, p := range gosvm.Protocols {
+		got, err := gosvm.ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProtocol(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if got, err := gosvm.ParseProtocol("seq"); err != nil || got != gosvm.Seq {
+		t.Fatalf("ParseProtocol(seq) = %v, %v", got, err)
+	}
+	if _, err := gosvm.ParseProtocol("mesi"); err == nil {
+		t.Fatal("unknown protocol name accepted")
+	}
+	if _, err := gosvm.ParseProtocol(""); err == nil {
+		t.Fatal("empty protocol name accepted")
+	}
+}
+
+func TestNewOptionsFunctional(t *testing.T) {
+	plan, err := gosvm.FaultProfile(gosvm.FaultLossy, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := gosvm.NewOptions(gosvm.HLRC,
+		gosvm.WithProcs(8),
+		gosvm.WithPageBytes(2048),
+		gosvm.WithGCThreshold(1<<20),
+		gosvm.WithFaults(plan),
+		gosvm.WithReplication(2),
+		gosvm.WithCheckpointEvery(gosvm.Millisecond),
+	)
+	if opts.Protocol != gosvm.HLRC || opts.NumProcs != 8 || opts.PageBytes != 2048 {
+		t.Fatalf("basic options not applied: %+v", opts)
+	}
+	if opts.GCThreshold != 1<<20 {
+		t.Fatalf("GC threshold not applied: %d", opts.GCThreshold)
+	}
+	if opts.Fault.Drop == 0 || opts.Fault.Seed != 3 {
+		t.Fatalf("fault plan not applied: %+v", opts.Fault)
+	}
+	if opts.Recovery.Replicas != 2 || opts.Recovery.CheckpointEvery != gosvm.Millisecond {
+		t.Fatalf("recovery options not applied: %+v", opts.Recovery)
+	}
+}
+
+// A run built entirely through the functional-options API must work end
+// to end, crash recovery included.
+func TestRunWithOptionsAndCrash(t *testing.T) {
+	plan := gosvm.FaultPlan{
+		Seed: 1,
+		RTO:  100 * gosvm.Microsecond,
+		Crashes: []gosvm.Crash{
+			{Node: 1, At: 200 * gosvm.Microsecond, RestartAt: 3 * gosvm.Millisecond},
+		},
+	}
+	res, err := gosvm.Run(gosvm.NewOptions(gosvm.OHLRC,
+		gosvm.WithProcs(4),
+		gosvm.WithPageBytes(512),
+		gosvm.WithFaults(plan),
+		gosvm.WithReplication(1),
+	), &counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data[0] != 12 {
+		t.Fatalf("counter = %v, want 12", res.Data[0])
+	}
+}
+
+// The exported error types must surface through errors.As on a failed
+// run: a crash with no replicas yields a NodeDeadError.
+func TestStructuredErrorsExported(t *testing.T) {
+	plan := gosvm.FaultPlan{
+		Seed:    1,
+		RTO:     100 * gosvm.Microsecond,
+		Crashes: []gosvm.Crash{{Node: 1, At: 200 * gosvm.Microsecond}},
+	}
+	_, err := gosvm.Run(gosvm.NewOptions(gosvm.HLRC,
+		gosvm.WithProcs(4),
+		gosvm.WithPageBytes(512),
+		gosvm.WithFaults(plan),
+	), &counter{})
+	if err == nil {
+		t.Fatal("permanent unreplicated crash succeeded")
+	}
+	var nde *gosvm.NodeDeadError
+	if !errors.As(err, &nde) {
+		t.Fatalf("error is not a NodeDeadError: %v", err)
+	}
+}
+
+// Speedup measures its sequential baseline under the same cost model as
+// the parallel run (regression: it used to drop opts.Costs). The
+// baseline is pure computation, so a slower network must lower the
+// speedup through the parallel side only — and the reported ratio must
+// be exactly the two elapsed times' quotient.
+func TestSpeedupCostModelContract(t *testing.T) {
+	mk := func() gosvm.App { return &counter{} }
+	base := gosvm.NewOptions(gosvm.HLRC, gosvm.WithProcs(2), gosvm.WithPageBytes(512))
+	s0, seq0, par0, err := gosvm.Speedup(base, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := gosvm.DefaultCosts()
+	slow.MsgLatency *= 10
+	slow.ReceiveInterrupt *= 10
+	s1, seq1, par1, err := gosvm.Speedup(gosvm.NewOptions(gosvm.HLRC,
+		gosvm.WithProcs(2), gosvm.WithPageBytes(512), gosvm.WithCosts(slow)), mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		s        float64
+		seq, par *gosvm.Result
+	}{{s0, seq0, par0}, {s1, seq1, par1}} {
+		if want := float64(c.seq.Stats.Elapsed) / float64(c.par.Stats.Elapsed); c.s != want {
+			t.Fatalf("speedup %v is not seq/par = %v", c.s, want)
+		}
+	}
+	if par1.Stats.Elapsed <= par0.Stats.Elapsed {
+		t.Fatalf("parallel run ignored the cost model: %v vs %v", par1.Stats.Elapsed, par0.Stats.Elapsed)
+	}
+	if seq1.Stats.Elapsed != seq0.Stats.Elapsed {
+		t.Fatalf("compute-only sequential baseline changed with the network model: %v vs %v",
+			seq1.Stats.Elapsed, seq0.Stats.Elapsed)
+	}
+	if s1 >= s0 {
+		t.Fatalf("slower network did not lower the speedup: %v vs %v", s1, s0)
+	}
+}

@@ -17,7 +17,7 @@ func seqRun(t *testing.T, app core.App) *core.Result {
 	return res
 }
 
-func parRun(t *testing.T, app core.App, proto string, p int) *core.Result {
+func parRun(t *testing.T, app core.App, proto core.Protocol, p int) *core.Result {
 	t.Helper()
 	res, err := core.Run(core.Options{Protocol: proto, NumProcs: p, PageBytes: 1024}, app, false)
 	if err != nil {

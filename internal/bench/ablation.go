@@ -25,7 +25,7 @@ func (r *Runner) runWith(app string, opts core.Options) *core.Result {
 	return res
 }
 
-func (r *Runner) baseOpts(proto string, procs int) core.Options {
+func (r *Runner) baseOpts(proto core.Protocol, procs int) core.Options {
 	return core.Options{
 		Protocol:    proto,
 		NumProcs:    procs,
@@ -149,7 +149,7 @@ func (r *Runner) AblationAURC(w io.Writer, app string, procs int) {
 	fmt.Fprintf(w, "Ablation (AURC hardware emulation, %s, %d nodes):\n", app, procs)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Protocol\tTime (s)\tUpdate traffic (MB)")
-	for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC, core.ProtoAURC} {
+	for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC, core.ProtoAURC} {
 		var res *core.Result
 		if proto == core.ProtoAURC {
 			res = r.runWith(app, r.baseOpts(proto, procs))

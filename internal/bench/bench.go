@@ -32,7 +32,7 @@ type Runner struct {
 
 type runKey struct {
 	app   string
-	proto string
+	proto core.Protocol
 	procs int
 }
 
@@ -50,7 +50,7 @@ func NewRunner(size apps.Size) *Runner {
 
 // Run returns the (memoized) result of app under proto on procs nodes.
 // proto "seq" ignores procs.
-func (r *Runner) Run(app, proto string, procs int) *core.Result {
+func (r *Runner) Run(app string, proto core.Protocol, procs int) *core.Result {
 	if proto == core.ProtoSeq {
 		procs = 1
 	}
@@ -85,7 +85,7 @@ func (r *Runner) Run(app, proto string, procs int) *core.Result {
 func (r *Runner) Seq(app string) *core.Result { return r.Run(app, core.ProtoSeq, 1) }
 
 // Speedup returns seq/parallel simulated time.
-func (r *Runner) Speedup(app, proto string, procs int) float64 {
+func (r *Runner) Speedup(app string, proto core.Protocol, procs int) float64 {
 	seq := r.Seq(app).Stats.Elapsed
 	par := r.Run(app, proto, procs).Stats.Elapsed
 	return float64(seq) / float64(par)

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -168,5 +171,40 @@ func TestAblationsSmoke(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("ablation output missing %q", want)
 		}
+	}
+}
+
+func TestFaultSweepSmoke(t *testing.T) {
+	r := testRunner()
+	r.Procs = []int{4}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := r.FaultSweep(&buf, []string{"lossy", "crash"}, 3, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`fault profile "lossy"`, `fault profile "crash"`, "rehomed", "detect(ms)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	// One JSON file per cell: 4 protocols for lossy, 2 for crash.
+	files, err := filepath.Glob(filepath.Join(dir, "fault-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(AppNames()) * (4 + 2); len(files) != want {
+		t.Fatalf("wrote %d JSON cells, want %d", len(files), want)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("cell %s is not valid JSON: %v", files[0], err)
+	}
+	if doc["protocol"] == "" || doc["elapsed_ns"] == nil {
+		t.Fatalf("cell JSON missing core fields: %v", doc)
 	}
 }

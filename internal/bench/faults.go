@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/core"
+	"gosvm/internal/fault"
+	"gosvm/internal/sim"
+)
+
+// FaultSweep reruns the Table-2 speedup grid under fault injection: one
+// sub-table per profile, every cell a full validated run. The lossy and
+// hostile profiles exercise all four protocols; the crash profile only
+// the home-based ones (re-homing needs a home), with one replica per
+// home so the mid-run crash of node 1 is survivable. Faulted runs are
+// not memoized — the plan is part of the cell.
+//
+// When jsonDir is non-empty every cell's statistics are written there as
+// fault-<profile>-<app>-<proto>-p<procs>.json for machine consumption.
+func (r *Runner) FaultSweep(out io.Writer, profiles []string, seed int64, jsonDir string) error {
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for i, profile := range profiles {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := r.faultTable(out, profile, seed, jsonDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// faultProtocols returns the protocol columns for one profile.
+func faultProtocols(profile string) []core.Protocol {
+	if profile == fault.ProfileCrash {
+		return []core.Protocol{core.ProtoHLRC, core.ProtoOHLRC}
+	}
+	return []core.Protocol{core.ProtoLRC, core.ProtoOLRC, core.ProtoHLRC, core.ProtoOHLRC}
+}
+
+func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir string) error {
+	plan, err := fault.Profile(profile, seed)
+	if err != nil {
+		return err
+	}
+	protos := faultProtocols(profile)
+	crash := profile == fault.ProfileCrash
+
+	fmt.Fprintf(out, "Speedups under fault profile %q (seed %d)\n", profile, seed)
+	if crash {
+		fmt.Fprintln(out, "home-based protocols with Recovery.Replicas=1; node 1 crashes mid-run and its pages are re-homed")
+	}
+	tw := tabwriter.NewWriter(out, 4, 8, 2, ' ', 0)
+	fmt.Fprint(tw, "Application\tProcs")
+	for _, proto := range protos {
+		fmt.Fprintf(tw, "\t%s", proto)
+	}
+	if crash {
+		fmt.Fprint(tw, "\trehomed\tdetect(ms)")
+	}
+	fmt.Fprintln(tw)
+
+	for _, app := range AppNames() {
+		seq := r.Seq(app).Stats.Elapsed
+		for _, procs := range r.Procs {
+			fmt.Fprintf(tw, "%s\t%d", app, procs)
+			var rehomed int64
+			var detect sim.Time
+			for _, proto := range protos {
+				res, err := r.runFaulted(app, proto, procs, plan)
+				if err != nil {
+					return err
+				}
+				res.Stats.SeqTime = seq
+				fmt.Fprintf(tw, "\t%.2f", res.Stats.Speedup())
+				for _, nd := range res.Stats.Nodes {
+					rehomed += nd.Counts.PagesRehomed
+					if nd.Detect > detect {
+						detect = nd.Detect
+					}
+				}
+				if jsonDir != "" {
+					name := fmt.Sprintf("fault-%s-%s-%s-p%d.json", profile, app, proto, procs)
+					f, err := os.Create(filepath.Join(jsonDir, name))
+					if err != nil {
+						return err
+					}
+					werr := res.Stats.WriteJSON(f)
+					if cerr := f.Close(); werr == nil {
+						werr = cerr
+					}
+					if werr != nil {
+						return werr
+					}
+				}
+			}
+			if crash {
+				fmt.Fprintf(tw, "\t%d\t%.2f", rehomed, detect.Micros()/1e3)
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	return tw.Flush()
+}
+
+// runFaulted is Run with a fault plan (uncached) and, for crash plans,
+// single-replica home-state recovery.
+func (r *Runner) runFaulted(app string, proto core.Protocol, procs int, plan fault.Plan) (*core.Result, error) {
+	a, err := apps.New(app, r.Size)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		Protocol:    proto,
+		NumProcs:    procs,
+		PageBytes:   r.PageBytes,
+		GCThreshold: r.GCThreshold,
+		Fault:       plan,
+	}
+	if len(plan.Crashes) > 0 {
+		opts.Recovery = core.Recovery{Replicas: 1}
+	}
+	start := time.Now()
+	res, err := core.Run(opts, a, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%s/p%d: %w", app, proto, procs, err)
+	}
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, "# ran %s/%s/p%d (faulted): simulated %.1fs (%.2fs real)\n",
+			app, proto, procs, res.Stats.Elapsed.Micros()/1e6, time.Since(start).Seconds())
+	}
+	return res, nil
+}

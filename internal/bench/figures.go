@@ -15,14 +15,14 @@ import (
 // configuration — one stacked bar of the paper's Figure 3.
 type BreakdownRow struct {
 	App   string
-	Proto string
+	Proto core.Protocol
 	Procs int
 	// Seconds per category, averaged over nodes.
 	Compute, Data, GC, Lock, Barrier, Protocol float64
 	Total                                      float64
 }
 
-func breakdownOf(res *core.Result, app, proto string, procs int) BreakdownRow {
+func breakdownOf(res *core.Result, app string, proto core.Protocol, procs int) BreakdownRow {
 	avg := res.Stats.AvgNode()
 	s := func(c stats.Category) float64 { return avg.Time[c].Micros() / 1e6 }
 	row := BreakdownRow{
@@ -68,7 +68,7 @@ func (r *Runner) Fig3(w io.Writer) {
 
 // Fig4Row is one processor's time breakdown between two barriers.
 type Fig4Row struct {
-	Proto string
+	Proto core.Protocol
 	Procs int
 	Node  int
 	// Seconds per category within the phase.
@@ -83,7 +83,7 @@ type Fig4Row struct {
 func (r *Runner) Fig4Data() []Fig4Row {
 	var rows []Fig4Row
 	for _, procs := range []int{8, 32} {
-		for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC} {
+		for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC} {
 			a, err := apps.New("water-nsq", r.Size)
 			if err != nil {
 				panic(err)

@@ -26,16 +26,16 @@ func (r *Runner) Table1(w io.Writer) {
 // Table2Row is one application's speedups.
 type Table2Row struct {
 	App      string
-	Speedups map[int]map[string]float64 // procs -> proto -> speedup
+	Speedups map[int]map[core.Protocol]float64 // procs -> proto -> speedup
 }
 
 // Table2Data computes the speedup table.
 func (r *Runner) Table2Data() []Table2Row {
 	var rows []Table2Row
 	for _, app := range AppNames() {
-		row := Table2Row{App: app, Speedups: map[int]map[string]float64{}}
+		row := Table2Row{App: app, Speedups: map[int]map[core.Protocol]float64{}}
 		for _, p := range r.Procs {
-			row.Speedups[p] = map[string]float64{}
+			row.Speedups[p] = map[core.Protocol]float64{}
 			for _, proto := range core.Protocols {
 				row.Speedups[p][proto] = r.Speedup(app, proto, p)
 			}
@@ -109,7 +109,7 @@ func Table3(w io.Writer, pageBytes int) {
 type Table4Row struct {
 	App    string
 	Procs  int
-	Proto  string
+	Proto  core.Protocol
 	Counts stats.Counters
 }
 
@@ -120,7 +120,7 @@ func (r *Runner) Table4Data() []Table4Row {
 	var rows []Table4Row
 	for _, app := range AppNames() {
 		for _, p := range sizes {
-			for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC} {
+			for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC} {
 				rows = append(rows, Table4Row{
 					App: app, Procs: p, Proto: proto,
 					Counts: avgCounts(r.Run(app, proto, p)),
@@ -153,7 +153,7 @@ func (r *Runner) Table4(w io.Writer) {
 // Table5Row is one app's communication traffic under one protocol.
 type Table5Row struct {
 	App       string
-	Proto     string
+	Proto     core.Protocol
 	Msgs      int64
 	DataMB    float64
 	ProtoMB   float64
@@ -164,7 +164,7 @@ type Table5Row struct {
 func (r *Runner) Table5Data(procs int) []Table5Row {
 	var rows []Table5Row
 	for _, app := range AppNames() {
-		for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC} {
+		for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC} {
 			res := r.Run(app, proto, procs)
 			rows = append(rows, Table5Row{
 				App:     app,
@@ -193,7 +193,7 @@ func (r *Runner) Table5(w io.Writer) {
 // Table6Row is one app's memory requirement under one protocol.
 type Table6Row struct {
 	App          string
-	Proto        string
+	Proto        core.Protocol
 	Procs        int
 	AppMB        float64 // application shared memory per node
 	ProtoPeakMB  float64 // peak protocol memory per node (max over nodes)
@@ -205,7 +205,7 @@ func (r *Runner) Table6Data() []Table6Row {
 	var rows []Table6Row
 	for _, app := range AppNames() {
 		for _, p := range r.Procs {
-			for _, proto := range []string{core.ProtoLRC, core.ProtoHLRC} {
+			for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC} {
 				res := r.Run(app, proto, p)
 				appMB := float64(res.Stats.TotalAppMem()) / float64(p) / (1 << 20)
 				protoMB := float64(res.Stats.PeakProtoMem()) / (1 << 20)

@@ -28,27 +28,70 @@ import (
 	"gosvm/internal/vc"
 )
 
-// Protocol names accepted by Options.Protocol.
+// Protocol identifies one of the simulated coherence protocols. The
+// zero value is invalid; use ParseProtocol to validate external input.
+type Protocol string
+
+// Protocols accepted by Options.Protocol.
 const (
-	ProtoSeq   = "seq" // sequential baseline: direct memory, no coherence
-	ProtoLRC   = "lrc"
-	ProtoOLRC  = "olrc"
-	ProtoHLRC  = "hlrc"
-	ProtoOHLRC = "ohlrc"
+	ProtoSeq   Protocol = "seq" // sequential baseline: direct memory, no coherence
+	ProtoLRC   Protocol = "lrc"
+	ProtoOLRC  Protocol = "olrc"
+	ProtoHLRC  Protocol = "hlrc"
+	ProtoOHLRC Protocol = "ohlrc"
 	// ProtoAURC emulates Automatic Update Release Consistency (Iftode et
 	// al.), the hardware-assisted protocol HLRC was derived from: write
 	// propagation is free but write-through traffic is proportional to
 	// store count. Not part of the paper's four measured prototypes.
-	ProtoAURC = "aurc"
+	ProtoAURC Protocol = "aurc"
 )
+
+// String returns the protocol's canonical name.
+func (p Protocol) String() string { return string(p) }
+
+// HomeBased reports whether the protocol keeps per-page state at a home
+// node (and therefore supports home-state replication and re-homing).
+func (p Protocol) HomeBased() bool { return p == ProtoHLRC || p == ProtoOHLRC }
+
+// ParseProtocol validates a protocol name.
+func ParseProtocol(s string) (Protocol, error) {
+	switch p := Protocol(s); p {
+	case ProtoSeq, ProtoLRC, ProtoOLRC, ProtoHLRC, ProtoOHLRC, ProtoAURC:
+		return p, nil
+	}
+	return "", fmt.Errorf("core: unknown protocol %q (have seq, lrc, olrc, hlrc, ohlrc, aurc)", s)
+}
 
 // Protocols lists the four SVM protocols in the paper's presentation
 // order.
-var Protocols = []string{ProtoLRC, ProtoOLRC, ProtoHLRC, ProtoOHLRC}
+var Protocols = []Protocol{ProtoLRC, ProtoOLRC, ProtoHLRC, ProtoOHLRC}
+
+// Recovery configures crash tolerance for the home-based protocols:
+// how home-page state is kept recoverable, so a crashed home's pages
+// can be re-homed onto a survivor.
+type Recovery struct {
+	// Replicas is the number of mirror nodes (the K next nodes in home
+	// order) holding a recoverable copy of each home's page state. Zero
+	// disables replication: a crash of a node that homes pages is then
+	// unrecoverable and the run fails with a NodeDeadError.
+	Replicas int
+
+	// CheckpointEvery switches from eager mirroring (every applied diff
+	// is forwarded to the replicas immediately) to periodic
+	// checkpointing: homes ship modified pages to their replicas every
+	// CheckpointEvery of simulated time, and writers retain flushed
+	// diffs in a local log until a checkpoint covers them, replaying
+	// them to the new home on recovery. Zero selects eager mirroring.
+	CheckpointEvery sim.Time
+}
+
+// Enabled reports whether home-state replication is requested (possibly
+// inconsistently; Run validates the combination).
+func (r *Recovery) Enabled() bool { return r.Replicas > 0 || r.CheckpointEvery > 0 }
 
 // Options configures a run.
 type Options struct {
-	Protocol  string
+	Protocol  Protocol
 	NumProcs  int
 	PageBytes int
 	Costs     paragon.Costs
@@ -88,6 +131,11 @@ type Options struct {
 	// no injector is built and the message path — and therefore every
 	// statistic — is exactly the fault-free one.
 	Fault fault.Plan
+
+	// Recovery configures home-state replication and re-homing for the
+	// home-based protocols (required to survive Fault.Crashes of nodes
+	// that home pages). The zero value disables it.
+	Recovery Recovery
 }
 
 // Defaults fills unset fields.
@@ -116,14 +164,18 @@ func (o *Options) Overlapped() bool {
 
 // Message kinds.
 const (
-	kLockAcq    = iota + 1 // requester -> lock manager
-	kLockFwd               // manager -> current owner
-	kBarrier               // node -> barrier manager
-	kGCDone                // node -> barrier manager (homeless GC rendezvous)
-	kFetchDiffs            // faulting node -> writer (LRC/OLRC)
-	kFetchPage             // faulting node -> copy holder / home
-	kDiffFlush             // writer -> home (HLRC), or coproc-to-home (OHLRC)
-	kMakeDiff              // compute -> own coproc (overlapped protocols)
+	kLockAcq     = iota + 1 // requester -> lock manager
+	kLockFwd                // manager -> current owner
+	kBarrier                // node -> barrier manager
+	kGCDone                 // node -> barrier manager (homeless GC rendezvous)
+	kFetchDiffs             // faulting node -> writer (LRC/OLRC)
+	kFetchPage              // faulting node -> copy holder / home
+	kDiffFlush              // writer -> home (HLRC), or coproc-to-home (OHLRC)
+	kMakeDiff               // compute -> own coproc (overlapped protocols)
+	kMirror                 // home -> replica: mirrored diff or checkpoint page
+	kCkptNote               // home -> writers: checkpoint coverage (prune diff logs)
+	kRecoverPull            // new home -> writers: replay logged diffs
+	kNodeDead               // recovery -> all: node declared dead, homes moved
 )
 
 // IntervalRec is the write-notice record for one interval: the pages the
@@ -221,6 +273,14 @@ func msgKindName(kind int) string {
 		return "diff-flush"
 	case kMakeDiff:
 		return "make-diff"
+	case kMirror:
+		return "mirror"
+	case kCkptNote:
+		return "ckpt-note"
+	case kRecoverPull:
+		return "recover-pull"
+	case kNodeDead:
+		return "node-dead"
 	}
 	return fmt.Sprintf("kind-%d", kind)
 }

@@ -25,7 +25,7 @@ func (a *testApp) Init(w *Init)            { a.init(w) }
 func (a *testApp) Worker(c *Ctx, id int)   { a.worker(c, id) }
 func (a *testApp) Gather(c *Ctx) []float64 { return a.gather(c) }
 
-func testOpts(proto string, p int) Options {
+func testOpts(proto Protocol, p int) Options {
 	return Options{Protocol: proto, NumProcs: p, PageBytes: 512}
 }
 
@@ -38,7 +38,7 @@ func runOrFail(t *testing.T, opts Options, app App) *Result {
 	return res
 }
 
-func forEachProto(t *testing.T, procs []int, fn func(t *testing.T, proto string, p int)) {
+func forEachProto(t *testing.T, procs []int, fn func(t *testing.T, proto Protocol, p int)) {
 	for _, proto := range Protocols {
 		for _, p := range procs {
 			proto, p := proto, p
@@ -76,7 +76,7 @@ func counterApp(n int) *testApp {
 
 func TestLockedCounter(t *testing.T) {
 	const n = 8
-	forEachProto(t, []int{2, 4, 7}, func(t *testing.T, proto string, p int) {
+	forEachProto(t, []int{2, 4, 7}, func(t *testing.T, proto Protocol, p int) {
 		res := runOrFail(t, testOpts(proto, p), counterApp(n))
 		want := float64(p * n)
 		if res.Data[0] != want {
@@ -129,7 +129,7 @@ func barrierVisApp(words int) *testApp {
 func TestBarrierVisibility(t *testing.T) {
 	const words = 300 // spans several 512-byte pages
 	want := float64(words * (words + 1) / 2)
-	forEachProto(t, []int{2, 5}, func(t *testing.T, proto string, p int) {
+	forEachProto(t, []int{2, 5}, func(t *testing.T, proto Protocol, p int) {
 		res := runOrFail(t, testOpts(proto, p), barrierVisApp(words))
 		for i, s := range res.Data {
 			if s != want {
@@ -177,7 +177,7 @@ func multiWriterApp() *testApp {
 }
 
 func TestMultiWriterMerge(t *testing.T) {
-	forEachProto(t, []int{2, 4, 8}, func(t *testing.T, proto string, p int) {
+	forEachProto(t, []int{2, 4, 8}, func(t *testing.T, proto Protocol, p int) {
 		res := runOrFail(t, testOpts(proto, p), multiWriterApp())
 		for i, v := range res.Data {
 			want := float64(100*(i%p) + i)
@@ -222,7 +222,7 @@ func migratoryApp(rounds int) *testApp {
 
 func TestMigratoryData(t *testing.T) {
 	const rounds = 5
-	forEachProto(t, []int{3, 6}, func(t *testing.T, proto string, p int) {
+	forEachProto(t, []int{3, 6}, func(t *testing.T, proto Protocol, p int) {
 		res := runOrFail(t, testOpts(proto, p), migratoryApp(rounds))
 		want := float64(rounds * p)
 		for i, v := range res.Data {
@@ -289,7 +289,7 @@ func causalChainApp() *testApp {
 func TestCausalChain(t *testing.T) {
 	for _, proto := range Protocols {
 		proto := proto
-		t.Run(proto, func(t *testing.T) {
+		t.Run(proto.String(), func(t *testing.T) {
 			res := runOrFail(t, testOpts(proto, 3), causalChainApp())
 			if res.Data[0] != 42 {
 				t.Fatalf("out = %v, want 42 (causal ordering violated)", res.Data[0])
@@ -302,9 +302,9 @@ func TestCausalChain(t *testing.T) {
 // Garbage collection correctness (homeless protocols).
 
 func TestGCPreservesData(t *testing.T) {
-	for _, proto := range []string{ProtoLRC, ProtoOLRC} {
+	for _, proto := range []Protocol{ProtoLRC, ProtoOLRC} {
 		proto := proto
-		t.Run(proto, func(t *testing.T) {
+		t.Run(proto.String(), func(t *testing.T) {
 			opts := testOpts(proto, 4)
 			opts.GCThreshold = 1 // force GC at every barrier
 			app := &testApp{name: "gc"}
@@ -354,9 +354,9 @@ func TestGCPreservesData(t *testing.T) {
 // Home effect: a single writer that is also the home creates no diffs.
 
 func TestHomeEffectNoDiffs(t *testing.T) {
-	for _, proto := range []string{ProtoHLRC, ProtoOHLRC} {
+	for _, proto := range []Protocol{ProtoHLRC, ProtoOHLRC} {
 		proto := proto
-		t.Run(proto, func(t *testing.T) {
+		t.Run(proto.String(), func(t *testing.T) {
 			app := &testApp{name: "homeeffect"}
 			var addr mem.Addr
 			const words = 128
@@ -406,7 +406,7 @@ func TestHomeEffectNoDiffs(t *testing.T) {
 func TestRunDeterminism(t *testing.T) {
 	for _, proto := range Protocols {
 		proto := proto
-		t.Run(proto, func(t *testing.T) {
+		t.Run(proto.String(), func(t *testing.T) {
 			r1 := runOrFail(t, testOpts(proto, 4), counterApp(6))
 			r2 := runOrFail(t, testOpts(proto, 4), counterApp(6))
 			if r1.Stats.Elapsed != r2.Stats.Elapsed {
@@ -426,7 +426,7 @@ func TestRunDeterminism(t *testing.T) {
 // Accounting invariants.
 
 func TestBreakdownWithinElapsed(t *testing.T) {
-	forEachProto(t, []int{4}, func(t *testing.T, proto string, p int) {
+	forEachProto(t, []int{4}, func(t *testing.T, proto Protocol, p int) {
 		res := runOrFail(t, testOpts(proto, p), migratoryApp(4))
 		for i, nd := range res.Stats.Nodes {
 			if nd.Total() > res.Stats.Elapsed {
@@ -570,9 +570,9 @@ func TestHomeRoundRobinOption(t *testing.T) {
 // OverlapLocks (the §4.3 extension: synchronization serviced by the
 // co-processor) must preserve correctness and cut lock-bound runtime.
 func TestOverlapLocksCorrectAndFaster(t *testing.T) {
-	for _, proto := range []string{ProtoOLRC, ProtoOHLRC} {
+	for _, proto := range []Protocol{ProtoOLRC, ProtoOHLRC} {
 		proto := proto
-		t.Run(proto, func(t *testing.T) {
+		t.Run(proto.String(), func(t *testing.T) {
 			base := testOpts(proto, 6)
 			withOL := base
 			withOL.OverlapLocks = true

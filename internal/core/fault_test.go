@@ -10,7 +10,7 @@ import (
 	"gosvm/internal/sim"
 )
 
-func faultOpts(t *testing.T, proto string, p int, profile string, seed int64) Options {
+func faultOpts(t *testing.T, proto Protocol, p int, profile string, seed int64) Options {
 	t.Helper()
 	plan, err := fault.Profile(profile, seed)
 	if err != nil {
@@ -29,7 +29,7 @@ func TestProtocolsSurviveFaultProfiles(t *testing.T) {
 	for _, profile := range []string{fault.ProfileLossy, fault.ProfileHostile} {
 		profile := profile
 		t.Run(profile, func(t *testing.T) {
-			forEachProto(t, []int{2, 4}, func(t *testing.T, proto string, p int) {
+			forEachProto(t, []int{2, 4}, func(t *testing.T, proto Protocol, p int) {
 				const n = 6
 				res := runOrFail(t, faultOpts(t, proto, p, profile, 7), counterApp(n))
 				if want := float64(p * n); res.Data[0] != want {
@@ -61,7 +61,7 @@ func TestProtocolsSurviveFaultProfiles(t *testing.T) {
 func TestFaultRunDeterminism(t *testing.T) {
 	for _, proto := range Protocols {
 		proto := proto
-		t.Run(proto, func(t *testing.T) {
+		t.Run(proto.String(), func(t *testing.T) {
 			r1 := runOrFail(t, faultOpts(t, proto, 4, fault.ProfileHostile, 3), counterApp(6))
 			r2 := runOrFail(t, faultOpts(t, proto, 4, fault.ProfileHostile, 3), counterApp(6))
 			if r1.Stats.Elapsed != r2.Stats.Elapsed {

@@ -29,6 +29,14 @@ type hlrcEngine struct {
 	overlapped bool
 	aurc       bool
 	pages      []hlrcPage
+
+	// Crash-recovery state (see recover.go). mirrors holds this node's
+	// replica copies of other homes' pages; dlog retains flushed diffs
+	// in checkpoint mode until a checkpoint covers them; ckptDirty
+	// tracks home pages modified since the last checkpoint shipped.
+	mirrors   map[int]*mirrorPage
+	dlog      map[int][]*diffFlush
+	ckptDirty map[int]bool
 }
 
 // hlrcPage is per-page protocol state on one node.
@@ -88,6 +96,9 @@ func newHomeEngine(sys *System, self int, overlapped, aurc bool) *hlrcEngine {
 	e := &hlrcEngine{overlapped: overlapped, aurc: aurc}
 	e.base.init(sys, self, e)
 	e.pages = make([]hlrcPage, sys.Space.NumPages())
+	e.mirrors = make(map[int]*mirrorPage)
+	e.dlog = make(map[int][]*diffFlush)
+	e.ckptDirty = make(map[int]bool)
 	e.node.InstallCompute(e.handleCompute)
 	e.node.InstallCoproc(e.handleCoproc)
 	return e
@@ -144,21 +155,21 @@ func (e *hlrcEngine) ReadFault(page int) {
 	e.use(e.costs().PageFault, stats.CatData)
 	e.st().Counts.ReadMisses++
 	e.emit(trace.ReadMiss, page, -1, 0)
-	if e.home(page) == e.self {
-		// The home's copy is always present; an "invalid" state here just
-		// means required diffs are still in flight. Wait for coverage.
-		m := &e.pages[page]
-		t0 := e.app().Now()
-		for !covers(m.flushVC, m.seen) {
-			m.waiters = append(m.waiters, e.app())
-			e.app().Park(fmt.Sprintf("hlrc home wait page %d", page))
-		}
-		e.pt.Page(page).State = mem.ReadOnly
-		e.st().Add(stats.CatData, e.app().Now()-t0)
-		return
-	}
 	m := &e.pages[page]
 	t0 := e.app().Now()
+	for e.home(page) == e.self {
+		// The home's copy is always present; an "invalid" state here just
+		// means required diffs are still in flight. Wait for coverage.
+		// Re-check the home after every wake-up: if this node crashed and
+		// rejoined, its pages moved and the fault must fetch remotely.
+		if covers(m.flushVC, m.seen) {
+			e.pt.Page(page).State = mem.ReadOnly
+			e.st().Add(stats.CatData, e.app().Now()-t0)
+			return
+		}
+		m.waiters = append(m.waiters, e.app())
+		e.app().Park(fmt.Sprintf("hlrc home wait page %d", page))
+	}
 	resp := e.node.Call(e.app(), e.home(page), paragon.Msg{
 		Kind:   kFetchPage,
 		Size:   8 + e.clock.WireSize(),
@@ -205,6 +216,13 @@ func (e *hlrcEngine) WriteFault(page int) {
 			p.MakeTwin()
 			e.st().MemAlloc(int64(e.sys.Space.PageBytes()))
 		}
+	} else if e.recovering() && !e.aurc {
+		// With replication on, the home twins its own pages too: its
+		// writes exist nowhere else, so they must be diffed at interval
+		// end and mirrored to the replicas.
+		e.use(e.costs().TwinCost(e.sys.Space.PageBytes()), stats.CatProtocol)
+		p.MakeTwin()
+		e.st().MemAlloc(int64(e.sys.Space.PageBytes()))
 	}
 	p.Stores = 0
 	p.State = mem.ReadWrite
@@ -219,7 +237,15 @@ func (e *hlrcEngine) closeCost() sim.Time {
 	for _, pg := range e.dirty {
 		cost += e.costs().PageProtect
 		if e.home(int(pg)) == e.self || e.aurc {
-			continue // home pages and automatic update: no diffing work
+			if e.home(int(pg)) == e.self && e.recovering() && !e.aurc {
+				// Replication: the home diffs its own writes for mirroring.
+				if e.overlapped {
+					cost += e.costs().CoprocPost
+				} else {
+					cost += e.costs().DiffCreateCost(e.sys.Space.PageWords)
+				}
+			}
+			continue // otherwise home pages and automatic update: no diffing work
 		}
 		if e.overlapped {
 			cost += e.costs().CoprocPost
@@ -246,9 +272,31 @@ func (e *hlrcEngine) closeCommit() {
 		}
 		seen := e.seenOf(pg)
 		if e.home(pg) == e.self {
+			seen[e.self] = rec.Interval
+			if e.recovering() && !e.aurc && p.Twin != nil {
+				// The home's own writes must reach the replicas: diff
+				// against the twin and run the self-flush path, which
+				// mirrors eagerly in both recovery modes.
+				if e.overlapped {
+					m.inflight = true
+					e.node.InjectCoproc(paragon.Msg{
+						Kind: kMakeDiff,
+						Body: &makeDiffReq{Page: pg, Interval: rec.Interval, Dep: dep},
+					})
+					continue
+				}
+				diff := mem.ComputeDiff(pg, p.Twin, p.Data)
+				p.DropTwin()
+				e.st().MemFree(int64(e.sys.Space.PageBytes()))
+				e.st().Counts.DiffsCreated++
+				e.emit(trace.DiffCreate, pg, -1, int64(diff.WireSize()))
+				e.homeSelfFlush(&diffFlush{
+					Page: pg, Writer: e.self, Interval: rec.Interval, Dep: dep, Diff: diff,
+				})
+				continue
+			}
 			f := e.flushOf(pg)
 			f[e.self] = rec.Interval
-			seen[e.self] = rec.Interval
 			e.homeDrain(pg)
 			continue
 		}
@@ -278,9 +326,11 @@ func (e *hlrcEngine) closeCommit() {
 		e.st().MemFree(int64(e.sys.Space.PageBytes()))
 		e.st().Counts.DiffsCreated++
 		e.emit(trace.DiffCreate, pg, -1, int64(diff.WireSize()))
-		e.sendDiff(&diffFlush{
+		df := &diffFlush{
 			Page: pg, Writer: e.self, Interval: rec.Interval, Dep: dep, Diff: diff,
-		})
+		}
+		e.logDiff(df)
+		e.sendDiff(df)
 	}
 }
 
@@ -360,6 +410,12 @@ func (e *hlrcEngine) handleCompute(m paragon.Msg) (sim.Time, func()) {
 		return e.handleFetchPage(m)
 	case kDiffFlush:
 		return e.handleDiffFlush(m)
+	case kMirror:
+		return e.handleMirror(m)
+	case kCkptNote:
+		return e.handleCkptNote(m)
+	case kRecoverPull:
+		return e.handleRecoverPull(m)
 	}
 	return badKind(m.Kind)
 }
@@ -372,6 +428,12 @@ func (e *hlrcEngine) handleCoproc(m paragon.Msg) (sim.Time, func()) {
 		return e.handleFetchPage(m)
 	case kDiffFlush:
 		return e.handleDiffFlush(m)
+	case kMirror:
+		return e.handleMirror(m)
+	case kCkptNote:
+		return e.handleCkptNote(m)
+	case kRecoverPull:
+		return e.handleRecoverPull(m)
 	// Synchronization service lands here under the OverlapLocks
 	// extension (§4.3's "moved to the co-processor").
 	case kLockAcq:
@@ -400,10 +462,18 @@ func (e *hlrcEngine) handleMakeDiff(m paragon.Msg) (sim.Time, func()) {
 			w.Unpark()
 		}
 		pm.twinWaiter = nil
-		e.sendDiff(&diffFlush{
+		df := &diffFlush{
 			Page: req.Page, Writer: e.self, Interval: req.Interval,
 			Dep: req.Dep, Diff: diff,
-		})
+		}
+		if e.home(req.Page) == e.self {
+			// The page is (or became, via a promotion) self-homed: the
+			// flush is local and the diff mirrors to the replicas.
+			e.homeSelfFlush(df)
+			return
+		}
+		e.logDiff(df)
+		e.sendDiff(df)
 	}
 }
 
@@ -422,7 +492,19 @@ func (e *hlrcEngine) handleDiffFlush(m paragon.Msg) (sim.Time, func()) {
 
 func (e *hlrcEngine) homeReceiveDiff(df *diffFlush) {
 	if e.home(df.Page) != e.self {
-		panic(fmt.Sprintf("core: diff for page %d sent to non-home %d", df.Page, e.self))
+		// Stale delivery: the page was re-homed (or this node restarted
+		// and lost its home role) while the flush was in flight. Forward
+		// to the current home; application is idempotent, so a duplicate
+		// arrival there is harmless.
+		e.sendDiff(df)
+		return
+	}
+	e.ckptDirty[df.Page] = true
+	if e.sys.rec != nil && e.sys.rec.k > 0 && e.sys.rec.every == 0 {
+		// Eager mirroring happens at receipt, not at apply: a diff parked
+		// on causal predecessors has already been acknowledged to its
+		// writer, so it must be recoverable from the replicas now.
+		e.mirrorDiff(df)
 	}
 	f := e.flushOf(df.Page)
 	if !covers(f, df.Dep) {
@@ -492,7 +574,11 @@ func (e *hlrcEngine) handleFetchPage(m paragon.Msg) (sim.Time, func()) {
 	return 0, func() {
 		fr := m.Body.(*fetchPageReq)
 		if e.home(fr.Page) != e.self {
-			panic(fmt.Sprintf("core: fetch for page %d at non-home %d", fr.Page, e.self))
+			// Stale delivery after a re-homing: forward the request. The
+			// reply port records the original requester, so the current
+			// home answers it directly.
+			e.node.Send(e.home(fr.Page), m)
+			return
 		}
 		if covers(e.pages[fr.Page].flushVC, fr.Need) {
 			e.respondFetch(m, fr)

@@ -163,7 +163,7 @@ func checkRandProgram(t *testing.T, label string, rp *randProgram, data []float6
 }
 
 func TestRandomProgramsAllProtocols(t *testing.T) {
-	protocols := append([]string{}, Protocols...)
+	protocols := append([]Protocol{}, Protocols...)
 	for seed := int64(1); seed <= 12; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -191,7 +191,7 @@ func TestRandomProgramsAllProtocols(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: %v", proto, err)
 				}
-				checkRandProgram(t, proto, rp, res.Data, wantBar, wantLocks)
+				checkRandProgram(t, proto.String(), rp, res.Data, wantBar, wantLocks)
 			}
 		})
 	}
@@ -231,7 +231,7 @@ func TestRandomProgramsUnderFaults(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s/%s: %v", proto, profile, err)
 					}
-					checkRandProgram(t, proto+"/"+profile, rp, res.Data, wantBar, wantLocks)
+					checkRandProgram(t, proto.String()+"/"+profile, rp, res.Data, wantBar, wantLocks)
 				}
 			})
 		}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"gosvm/internal/fault"
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+)
+
+// rehomeApp stresses the crashed node's home role: every node writes one
+// word in every page each round (pages homed round-robin, so node 1
+// homes page 1, ...), then reads a neighbour's word back after the
+// barrier. Diff flushes and page fetches hit every home every round, so
+// an outage of any node is observed quickly and recovery must both
+// preserve the flushed updates and serve fetches from the new home.
+func rehomeApp(p, rounds int) *testApp {
+	var base mem.Addr
+	const words = 64 // one 512-byte page per region
+	return &testApp{
+		name:  "rehome",
+		setup: func(s *Setup) { base = s.Alloc(p * words) },
+		init: func(w *Init) {
+			for i := 0; i < p*words; i++ {
+				w.Store(base+mem.Addr(i), 0)
+			}
+		},
+		worker: func(c *Ctx, id int) {
+			for r := 1; r <= rounds; r++ {
+				c.Compute(200 * sim.Microsecond)
+				for pg := 0; pg < p; pg++ {
+					c.Store(base+mem.Addr(pg*words+id), float64(r*(pg+1)))
+				}
+				c.Barrier(2 * r)
+				// Check a neighbour's write; the second barrier keeps the
+				// next round's writes from racing with this read.
+				peer := (id + 1) % p
+				if got := c.Load(base + mem.Addr(peer*words+peer)); got != float64(r*(peer+1)) {
+					panic(fmt.Sprintf("node %d round %d: page %d word %d = %v, want %v",
+						id, r, peer, peer, got, float64(r*(peer+1))))
+				}
+				c.Barrier(2*r + 1)
+			}
+		},
+		gather: func(c *Ctx) []float64 {
+			out := make([]float64, p*words)
+			c.ReadRange(base, out)
+			return out
+		},
+	}
+}
+
+func checkRehome(t *testing.T, p, rounds int, data []float64) {
+	t.Helper()
+	const words = 64
+	for pg := 0; pg < p; pg++ {
+		for j := 0; j < words; j++ {
+			want := 0.0
+			if j < p {
+				want = float64(rounds * (pg + 1))
+			}
+			if got := data[pg*words+j]; got != want {
+				t.Fatalf("word %d of page %d = %v, want %v", j, pg, got, want)
+			}
+		}
+	}
+}
+
+// crashPlan schedules one outage of node 1 with a short RTO so the
+// transport suspects the dead node quickly.
+func crashPlan(at, restart sim.Time) fault.Plan {
+	return fault.Plan{
+		Seed:    1,
+		RTO:     100 * sim.Microsecond,
+		Crashes: []fault.Crash{{Node: 1, At: at, RestartAt: restart}},
+	}
+}
+
+// A home crash in the middle of the run must be recovered by re-homing:
+// the results stay identical to the fault-free (and sequential) ones,
+// pages move, and the detection latency is recorded.
+func TestCrashRehomingCorrectness(t *testing.T) {
+	const p, rounds = 4, 10
+	for _, proto := range []Protocol{ProtoHLRC, ProtoOHLRC} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			opts := testOpts(proto, p)
+			opts.Fault = crashPlan(800*sim.Microsecond, 5*sim.Millisecond)
+			opts.Recovery = Recovery{Replicas: 1}
+			res := runOrFail(t, opts, rehomeApp(p, rounds))
+			checkRehome(t, p, rounds, res.Data)
+
+			var rehomed int64
+			var detect sim.Time
+			for _, nd := range res.Stats.Nodes {
+				rehomed += nd.Counts.PagesRehomed
+				if nd.Detect > detect {
+					detect = nd.Detect
+				}
+			}
+			if rehomed == 0 {
+				t.Fatal("crash recovered without re-homing any page")
+			}
+			if detect <= 0 {
+				t.Fatal("re-homing happened but no detection latency was recorded")
+			}
+		})
+	}
+}
+
+// The same run under periodic checkpointing instead of eager mirroring:
+// writers must replay their logged diffs to the promoted home.
+func TestCrashRecoveryCheckpointMode(t *testing.T) {
+	const p, rounds = 4, 10
+	for _, proto := range []Protocol{ProtoHLRC, ProtoOHLRC} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			opts := testOpts(proto, p)
+			opts.Fault = crashPlan(800*sim.Microsecond, 5*sim.Millisecond)
+			opts.Recovery = Recovery{Replicas: 1, CheckpointEvery: 300 * sim.Microsecond}
+			res := runOrFail(t, opts, rehomeApp(p, rounds))
+			checkRehome(t, p, rounds, res.Data)
+
+			var rehomed int64
+			for _, nd := range res.Stats.Nodes {
+				rehomed += nd.Counts.PagesRehomed
+			}
+			if rehomed == 0 {
+				t.Fatal("crash recovered without re-homing any page")
+			}
+		})
+	}
+}
+
+// More replicas than one: the successor election must still pick exactly
+// one new home and the run must stay correct.
+func TestCrashRecoveryTwoReplicas(t *testing.T) {
+	const p, rounds = 5, 8
+	opts := testOpts(ProtoHLRC, p)
+	opts.Fault = crashPlan(800*sim.Microsecond, 5*sim.Millisecond)
+	opts.Recovery = Recovery{Replicas: 2}
+	res := runOrFail(t, opts, rehomeApp(p, rounds))
+	checkRehome(t, p, rounds, res.Data)
+}
+
+// A crash run is deterministic: same plan, same seed, byte-identical
+// statistics including the recovery counters and the JSON encoding.
+func TestCrashRunDeterminism(t *testing.T) {
+	run := func() *Result {
+		opts := testOpts(ProtoOHLRC, 4)
+		opts.Fault = crashPlan(800*sim.Microsecond, 5*sim.Millisecond)
+		opts.Recovery = Recovery{Replicas: 1}
+		return runOrFail(t, opts, rehomeApp(4, 8))
+	}
+	r1, r2 := run(), run()
+	if r1.Stats.Elapsed != r2.Stats.Elapsed {
+		t.Fatalf("elapsed differs: %v vs %v", r1.Stats.Elapsed, r2.Stats.Elapsed)
+	}
+	for i := range r1.Stats.Nodes {
+		a, b := r1.Stats.Nodes[i], r2.Stats.Nodes[i]
+		if *a != *b {
+			t.Fatalf("node %d stats differ:\n%+v\n%+v", i, a, b)
+		}
+	}
+	var j1, j2 bytes.Buffer
+	if err := r1.Stats.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Stats.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSON stats of identical crash runs differ")
+	}
+}
+
+// Without replication, the crash of a node that homes pages is
+// unrecoverable: the run must fail with a structured NodeDeadError, not
+// an opaque deadlock.
+func TestCrashWithoutReplicasIsNodeDead(t *testing.T) {
+	var addr mem.Addr
+	app := &testApp{
+		name:  "deadhome",
+		setup: func(s *Setup) { addr = s.Alloc(64) },
+		init: func(w *Init) {
+			for i := 0; i < 64; i++ {
+				w.Store(addr+mem.Addr(i), 0)
+			}
+			w.SetHome(addr, 64, 1)
+		},
+		worker: func(c *Ctx, id int) {
+			if id == 1 {
+				c.Store(addr, 7)
+			}
+			c.Barrier(0)
+			if id == 0 {
+				c.Compute(2 * sim.Millisecond) // let the crash land first
+				c.Load(addr)                   // fetch from the dead home
+			}
+			c.Barrier(1)
+		},
+		gather: func(c *Ctx) []float64 { return []float64{c.Load(addr)} },
+	}
+	opts := testOpts(ProtoHLRC, 2)
+	opts.Fault = fault.Plan{
+		Seed:    1,
+		RTO:     100 * sim.Microsecond,
+		Crashes: []fault.Crash{{Node: 1, At: sim.Millisecond}}, // permanent
+	}
+	_, err := Run(opts, app, false)
+	if err == nil {
+		t.Fatal("run with an unrecoverable dead home succeeded")
+	}
+	var nde *fault.NodeDeadError
+	if !errors.As(err, &nde) {
+		t.Fatalf("error is not a NodeDeadError: %v", err)
+	}
+	if nde.Node != 1 {
+		t.Fatalf("NodeDeadError blames node %d, want 1", nde.Node)
+	}
+}
+
+// A crash of a node that homes no pages is survivable even with no
+// replicas: nothing depended on its volatile state.
+func TestCrashOfHomelessNodeSurvivable(t *testing.T) {
+	var addr mem.Addr
+	const words = 64
+	app := &testApp{
+		name:  "spareworker",
+		setup: func(s *Setup) { addr = s.Alloc(2 * words) },
+		init: func(w *Init) {
+			for i := 0; i < 2*words; i++ {
+				w.Store(addr+mem.Addr(i), 0)
+			}
+			w.SetHome(addr, 2*words, 0) // everything homed at node 0
+		},
+		worker: func(c *Ctx, id int) {
+			for r := 1; r <= 6; r++ {
+				c.Compute(300 * sim.Microsecond)
+				c.Store(addr+mem.Addr(id*words), float64(r))
+				c.Barrier(r)
+			}
+		},
+		gather: func(c *Ctx) []float64 {
+			return []float64{c.Load(addr), c.Load(addr + words)}
+		},
+	}
+	opts := testOpts(ProtoHLRC, 2)
+	opts.Fault = crashPlan(700*sim.Microsecond, 3*sim.Millisecond)
+	res := runOrFail(t, opts, app)
+	if res.Data[0] != 6 || res.Data[1] != 6 {
+		t.Fatalf("results = %v, want [6 6]", res.Data)
+	}
+	for _, nd := range res.Stats.Nodes {
+		if nd.Counts.PagesRehomed != 0 {
+			t.Fatalf("re-homing happened for a node that homes nothing")
+		}
+	}
+}
+
+// Recovery option validation: crashes need a home-based protocol,
+// checkpointing needs replicas, and replication needs spare nodes.
+func TestRecoveryValidation(t *testing.T) {
+	opts := testOpts(ProtoLRC, 2)
+	opts.Fault = crashPlan(sim.Millisecond, 2*sim.Millisecond)
+	if _, err := Run(opts, counterApp(2), false); err == nil {
+		t.Fatal("crash plan accepted under a homeless protocol")
+	}
+
+	opts = testOpts(ProtoHLRC, 2)
+	opts.Recovery = Recovery{CheckpointEvery: sim.Millisecond}
+	if _, err := Run(opts, counterApp(2), false); err == nil {
+		t.Fatal("checkpointing accepted without replicas")
+	}
+
+	opts = testOpts(ProtoHLRC, 2)
+	opts.Recovery = Recovery{Replicas: 2}
+	if _, err := Run(opts, counterApp(2), false); err == nil {
+		t.Fatal("as many replicas as nodes accepted")
+	}
+}
+
+// Replication without any crash must not change what the run computes —
+// it only adds mirror traffic.
+func TestReplicationWithoutCrashIsTransparent(t *testing.T) {
+	const p, rounds = 3, 5
+	base := runOrFail(t, testOpts(ProtoHLRC, p), rehomeApp(p, rounds))
+	opts := testOpts(ProtoHLRC, p)
+	opts.Recovery = Recovery{Replicas: 1}
+	rep := runOrFail(t, opts, rehomeApp(p, rounds))
+	checkRehome(t, p, rounds, rep.Data)
+	var replicaBytes int64
+	for _, nd := range rep.Stats.Nodes {
+		replicaBytes += nd.ReplicaBytes
+	}
+	if replicaBytes == 0 {
+		t.Fatal("replication enabled but no mirror traffic recorded")
+	}
+	if got, want := len(rep.Data), len(base.Data); got != want {
+		t.Fatalf("result length changed under replication: %d vs %d", got, want)
+	}
+	for i := range base.Data {
+		if base.Data[i] != rep.Data[i] {
+			t.Fatalf("replication changed word %d: %v vs %v", i, rep.Data[i], base.Data[i])
+		}
+	}
+}

@@ -89,6 +89,13 @@ type System struct {
 	appProcs  []*sim.Proc
 	homeBased bool
 
+	// Crash-recovery state (recover.go). rec is nil unless the run has
+	// crashes or replication; fatal is set (with the kernel stopped) when
+	// a crash is unrecoverable; liveWorkers gates the checkpoint timers.
+	rec         *recovery
+	fatal       error
+	liveWorkers int
+
 	// traceLog, when non-nil, captures protocol events.
 	traceLog *trace.Log
 
@@ -146,6 +153,11 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 		}
 		sys.traceLog = trace.NewLog(limit)
 	}
+	if len(opts.Fault.Crashes) > 0 || opts.Recovery.Enabled() {
+		if err := sys.initRecovery(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Phase 1: allocation.
 	app.Setup(&Setup{Space: space, P: opts.NumProcs})
@@ -197,6 +209,10 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 		}
 		machine.Nodes[owner].Stats.AppMem += int64(space.PageBytes())
 	}
+	if sys.rec != nil {
+		sys.seedReplicas(sys.staging)
+		sys.startCkptTimers()
+	}
 	sys.staging = nil
 
 	// Phase capture.
@@ -217,6 +233,7 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 
 	// Phase 5: run workers.
 	sys.appProcs = make([]*sim.Proc, opts.NumProcs)
+	sys.liveWorkers = opts.NumProcs
 	perProcEnd := make([]sim.Time, opts.NumProcs)
 	endStats := make([]stats.Node, opts.NumProcs)
 	var gathered []float64
@@ -227,6 +244,7 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 			c := newCtx(sys, i, p)
 			app.Worker(c, i)
 			perProcEnd[i] = p.Now()
+			sys.liveWorkers--
 			// Snapshot before the (untimed) gather phase so reported
 			// statistics cover exactly the parallel execution.
 			endStats[i] = machine.Nodes[i].Stats.Snapshot()
@@ -236,9 +254,15 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 			sys.Engines[i].Finish()
 		})
 	}
-	if err := k.Run(); err != nil {
+	err := k.Run()
+	if sys.fatal != nil {
+		// An unrecoverable crash stopped the kernel deliberately; report
+		// that rather than the secondary deadlock it would decay into.
+		err = sys.fatal
+	}
+	if err != nil {
 		k.Shutdown()
-		if inj != nil {
+		if inj != nil && sys.fatal == nil {
 			// Attribute the hang to any permanently lost messages before
 			// surfacing it.
 			err = inj.Diagnose(err)
@@ -254,7 +278,7 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 		}
 	}
 	run := &stats.Run{
-		Protocol: opts.Protocol,
+		Protocol: string(opts.Protocol),
 		App:      app.Name(),
 		Elapsed:  elapsed,
 	}

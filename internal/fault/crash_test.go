@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gosvm/internal/sim"
+)
+
+func TestCrashDownWindows(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{
+		{Node: 1, At: 100, RestartAt: 200},
+		{Node: 1, At: 400, RestartAt: 500},
+		{Node: 2, At: 300}, // permanent
+	}})
+	cases := []struct {
+		node int
+		t    sim.Time
+		down bool
+	}{
+		{0, 150, false}, // uncrashed node
+		{1, 99, false},  // before the outage
+		{1, 100, true},  // crash instant
+		{1, 199, true},  // inside
+		{1, 200, false}, // restart instant is up again
+		{1, 450, true},  // second outage
+		{1, 600, false}, // after both
+		{2, 299, false},
+		{2, 1 << 40, true}, // permanent: down forever
+	}
+	for _, c := range cases {
+		if got := in.Down(c.node, c.t); got != c.down {
+			t.Fatalf("Down(%d, %v) = %v, want %v", c.node, c.t, got, c.down)
+		}
+	}
+}
+
+func TestCrashStallStretchesCompute(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{
+		{Node: 1, At: 100, RestartAt: 200},
+		{Node: 2, At: 100}, // permanent
+	}})
+	if d, dead := in.Stall(0, 50, 100); d != 100 || dead {
+		t.Fatalf("uncrashed node stalled: (%v, %v)", d, dead)
+	}
+	if d, dead := in.Stall(1, 250, 100); d != 100 || dead {
+		t.Fatalf("compute after restart stalled: (%v, %v)", d, dead)
+	}
+	// Work starts at 50, the outage [100, 200) freezes it, the last 50
+	// units finish at 250: total duration 200.
+	if d, dead := in.Stall(1, 50, 100); d != 200 || dead {
+		t.Fatalf("overlapping compute: (%v, %v), want (200, false)", d, dead)
+	}
+	// Compute running into a permanent crash never finishes.
+	if _, dead := in.Stall(2, 50, 100); !dead {
+		t.Fatal("compute into a permanent crash finished")
+	}
+	if d, dead := in.Stall(2, 0, 50); d != 50 || dead {
+		t.Fatalf("compute ending before the crash stalled: (%v, %v)", d, dead)
+	}
+}
+
+func TestCrashProfile(t *testing.T) {
+	p, err := Profile(ProfileCrash, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Active() {
+		t.Fatal("crash profile reported inert")
+	}
+	if len(p.Crashes) == 0 {
+		t.Fatal("crash profile schedules no crash")
+	}
+	c := p.Crashes[0]
+	if c.Permanent() {
+		t.Fatal("the built-in crash profile must restart the node (a permanently dead worker can never finish its share)")
+	}
+	if c.RestartAt <= c.At {
+		t.Fatalf("restart %v not after crash %v", c.RestartAt, c.At)
+	}
+}
+
+func TestNodeDeadErrorReport(t *testing.T) {
+	base := errors.New("deadlock: everyone waits")
+	err := error(&NodeDeadError{
+		Node:   3,
+		At:     5 * sim.Millisecond,
+		Reason: "no replica holds its home pages",
+		Err:    base,
+	})
+	msg := err.Error()
+	for _, want := range []string{"node 3", "unrecoverable", "no replica holds its home pages", "deadlock: everyone waits"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("report missing %q: %v", want, msg)
+		}
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("NodeDeadError does not unwrap to the underlying error")
+	}
+}

@@ -27,10 +27,11 @@ const (
 	ProfileNone    = "none"
 	ProfileLossy   = "lossy"
 	ProfileHostile = "hostile"
+	ProfileCrash   = "crash"
 )
 
 // Profiles lists the built-in fault profiles.
-var Profiles = []string{ProfileNone, ProfileLossy, ProfileHostile}
+var Profiles = []string{ProfileNone, ProfileLossy, ProfileHostile, ProfileCrash}
 
 // AnyNode matches any node in a Target.
 const AnyNode = -1
@@ -55,6 +56,21 @@ type Slowdown struct {
 	Factor   float64
 }
 
+// Crash takes node Node down at simulated time At: the node stops
+// servicing protocol messages and its local compute freezes. If
+// RestartAt is nonzero the node comes back at that time with its
+// volatile protocol state (home copies, cached pages) lost; a zero
+// RestartAt is a permanent failure. Recovery of home-page state is the
+// job of the core re-homing protocol (see core.Recovery).
+type Crash struct {
+	Node      int
+	At        sim.Time
+	RestartAt sim.Time // 0 = never restarts
+}
+
+// Permanent reports whether the node never comes back.
+func (c Crash) Permanent() bool { return c.RestartAt == 0 }
+
 // Plan is a complete per-run fault schedule plus reliability tuning.
 // Probabilities apply independently to every message transmission
 // (including retransmissions).
@@ -72,6 +88,7 @@ type Plan struct {
 
 	Targets   []Target
 	Slowdowns []Slowdown
+	Crashes   []Crash
 
 	// Reliability layer tuning (acknowledgement + timeout/retry).
 	RTO         sim.Time // initial retransmit timeout; default 2ms
@@ -82,13 +99,20 @@ type Plan struct {
 	// exposes the protocols' raw behaviour under faults. Drops are then
 	// final and are reported by the watchdog on deadlock.
 	NoRetry bool
+
+	// SuspectAfter is the number of consecutive unacknowledged
+	// transmissions to one destination after which the transport reports
+	// the destination as suspected dead (default 3). Suspicion is only
+	// raised for nodes the plan actually crashes, so lossy networks
+	// cannot produce false positives.
+	SuspectAfter int
 }
 
 // Messaging reports whether the plan injects any message-level fault
 // (which is also what activates the reliability transport).
 func (p *Plan) Messaging() bool {
 	return p.Drop > 0 || p.Duplicate > 0 || p.Delay > 0 || p.Reorder > 0 ||
-		len(p.Targets) > 0
+		len(p.Targets) > 0 || len(p.Crashes) > 0
 }
 
 // Active reports whether the plan perturbs the run at all.
@@ -112,6 +136,9 @@ func (p Plan) withDefaults() Plan {
 	}
 	if p.MaxAttempts == 0 {
 		p.MaxAttempts = 10
+	}
+	if p.SuspectAfter == 0 {
+		p.SuspectAfter = 3
 	}
 	return p
 }
@@ -146,6 +173,16 @@ func Profile(name string, seed int64) (Plan, error) {
 			Slowdowns: []Slowdown{
 				{Node: 1, From: 0, To: 50 * sim.Millisecond, Factor: 2},
 				{Node: 2, From: 25 * sim.Millisecond, To: 150 * sim.Millisecond, Factor: 3},
+			},
+		}, nil
+	case ProfileCrash:
+		// Node 1 dies mid-run and reboots 20ms later with its volatile
+		// protocol state lost. With home-state replication enabled the
+		// home-based protocols re-home its pages and finish correctly.
+		return Plan{
+			Seed: seed,
+			Crashes: []Crash{
+				{Node: 1, At: 5 * sim.Millisecond, RestartAt: 25 * sim.Millisecond},
 			},
 		}, nil
 	}

@@ -1,6 +1,10 @@
 package fault
 
-import "gosvm/internal/sim"
+import (
+	"sort"
+
+	"gosvm/internal/sim"
+)
 
 // Verdict is the injector's decision about one message transmission.
 type Verdict struct {
@@ -18,6 +22,9 @@ type Injector struct {
 	r          rng
 	targetHits []int
 	losses     []Loss
+	// crashes holds the plan's crash schedule grouped per node and
+	// sorted by At, for outage-window queries.
+	crashes map[int][]Crash
 
 	// KindName, when set, renders protocol message kinds in watchdog
 	// reports ("diff-flush" instead of "kind 7"). The protocol layer owns
@@ -28,11 +35,20 @@ type Injector struct {
 // NewInjector builds an injector for plan, filling tuning defaults.
 func NewInjector(plan Plan) *Injector {
 	plan = plan.withDefaults()
-	return &Injector{
+	in := &Injector{
 		plan:       plan,
 		r:          newRNG(plan.Seed),
 		targetHits: make([]int, len(plan.Targets)),
+		crashes:    make(map[int][]Crash),
 	}
+	for _, c := range plan.Crashes {
+		in.crashes[c.Node] = append(in.crashes[c.Node], c)
+	}
+	for n := range in.crashes {
+		cs := in.crashes[n]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].At < cs[j].At })
+	}
+	return in
 }
 
 // Plan returns the plan with tuning defaults applied.
@@ -97,3 +113,54 @@ func (in *Injector) Slow(node int, now, d sim.Time) sim.Time {
 	}
 	return d
 }
+
+// Down reports whether node is inside a crash outage window at time t:
+// crashed at or before t and not yet restarted.
+func (in *Injector) Down(node int, t sim.Time) bool {
+	for _, c := range in.crashes[node] {
+		if t < c.At {
+			return false
+		}
+		if c.Permanent() || t < c.RestartAt {
+			return true
+		}
+	}
+	return false
+}
+
+// Stall stretches a compute duration d started at now on node across any
+// crash outage it overlaps: the processor freezes for the outage and the
+// remaining work completes after the restart. The second result is true
+// when the node never comes back, in which case the caller should park
+// its proc forever.
+func (in *Injector) Stall(node int, now, d sim.Time) (sim.Time, bool) {
+	end := now + d
+	for _, c := range in.crashes[node] {
+		if c.At >= end && c.At > now {
+			break
+		}
+		if c.Permanent() {
+			if c.At <= end {
+				return d, true
+			}
+			continue
+		}
+		if c.RestartAt <= now {
+			continue
+		}
+		// The outage [max(At, now), RestartAt) overlaps [now, end):
+		// freeze for its remainder.
+		start := c.At
+		if start < now {
+			start = now
+		}
+		if start <= end {
+			d += c.RestartAt - start
+			end = now + d
+		}
+	}
+	return d, false
+}
+
+// Crashes returns the plan's crash schedule (possibly empty).
+func (in *Injector) Crashes() []Crash { return in.plan.Crashes }

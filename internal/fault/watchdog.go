@@ -36,13 +36,54 @@ type HangError struct {
 	name func(kind int) string
 }
 
-// Diagnose annotates a run failure with any permanently lost messages.
-// With no losses on record (or no error), err is returned unchanged.
+// NodeDeadError reports a run that could not complete because a crashed
+// node took needed state down with it: either no replica existed to
+// re-home its pages, or the node held an unrecoverable role (lock or
+// barrier management, or its own worker on a permanent crash). Unwrap
+// exposes the underlying failure (typically a *sim.DeadlockError).
+type NodeDeadError struct {
+	Node     int
+	At       sim.Time // when the node crashed
+	Restarts bool     // whether the crash schedule ever revives it
+	Reason   string
+	Err      error
+}
+
+func (e *NodeDeadError) Unwrap() error { return e.Err }
+
+func (e *NodeDeadError) Error() string {
+	s := fmt.Sprintf("node %d crashed at %v and its state is unrecoverable", e.Node, e.At)
+	if e.Reason != "" {
+		s += ": " + e.Reason
+	}
+	if e.Err != nil {
+		s += " (" + e.Err.Error() + ")"
+	}
+	return s
+}
+
+// Diagnose annotates a run failure with any permanently lost messages,
+// and attributes failures of crash runs to the dead node: a plan with a
+// permanent crash that ends in deadlock is reported as a NodeDeadError
+// rather than a bare hang.
 func (in *Injector) Diagnose(err error) error {
-	if err == nil || len(in.losses) == 0 {
+	if err == nil {
 		return err
 	}
-	return &HangError{Err: err, Lost: in.losses, name: in.KindName}
+	if len(in.losses) > 0 {
+		err = &HangError{Err: err, Lost: in.losses, name: in.KindName}
+	}
+	for _, c := range in.plan.Crashes {
+		if c.Permanent() {
+			return &NodeDeadError{
+				Node:   c.Node,
+				At:     c.At,
+				Reason: "node never restarts",
+				Err:    err,
+			}
+		}
+	}
+	return err
 }
 
 func (e *HangError) Unwrap() error { return e.Err }

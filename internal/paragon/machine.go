@@ -37,6 +37,16 @@ type Machine struct {
 	// fault-free run, leaving every code path untouched.
 	inj    *fault.Injector
 	faults *faultLayer
+
+	// Crash/recovery hooks, installed by the protocol layer. OnCrash and
+	// OnRejoin fire (event context) when a planned crash takes a node
+	// down or brings it back. OnSuspect fires when the transport's
+	// retransmission chain to a genuinely-down node exceeds the plan's
+	// suspicion threshold; it may fire more than once per death, so
+	// handlers must be idempotent.
+	OnCrash   func(node int)
+	OnRejoin  func(node int)
+	OnSuspect func(dead, reporter int)
 }
 
 // New builds an n-node machine on kernel k and starts the per-node
@@ -74,6 +84,49 @@ func (m *Machine) EnableFaults(inj *fault.Injector) {
 	if p := inj.Plan(); p.Messaging() {
 		m.faults = newFaultLayer(m, inj)
 	}
+	for _, c := range inj.Crashes() {
+		c := c
+		m.K.At(c.At, func() {
+			if m.OnCrash != nil {
+				m.OnCrash(c.Node)
+			}
+		})
+		if !c.Permanent() {
+			m.K.At(c.RestartAt, func() {
+				if m.faults != nil {
+					m.faults.clearSuspect(c.Node)
+				}
+				if m.OnRejoin != nil {
+					m.OnRejoin(c.Node)
+				}
+			})
+		}
+	}
+}
+
+// Down reports whether node is inside a crash outage window right now.
+func (m *Machine) Down(node int) bool {
+	return m.inj != nil && m.inj.Down(node, m.K.Now())
+}
+
+// outage stretches compute work d on node across any crash window it
+// overlaps. The second result is true when the node is permanently dead
+// and the caller's proc should freeze forever.
+func (m *Machine) outage(node int, d sim.Time) (sim.Time, bool) {
+	if m.inj == nil {
+		return d, false
+	}
+	return m.inj.Stall(node, m.K.Now(), d)
+}
+
+// RecallPending withdraws every unacknowledged request to the dead node
+// whose payload matches the filter, returning the payloads oldest
+// first. The recovery layer re-sends them to the successor node.
+func (m *Machine) RecallPending(dead int, match func(Msg) bool) []Msg {
+	if m.faults == nil {
+		return nil
+	}
+	return m.faults.recall(dead, match)
 }
 
 // scale applies any active slowdown window on node to work d.
@@ -113,6 +166,13 @@ func (n *Node) startDispatchers() {
 			m := n.computeQ.Recv(p)
 			work, effect := n.computeH(m)
 			service := n.M.scale(n.ID, n.M.Costs.ReceiveInterrupt+work)
+			// A crash freezes the processor mid-service: the work resumes
+			// after the restart (its effect — already-acknowledged state —
+			// still applies), or never on a permanent failure.
+			service, dead := n.M.outage(n.ID, service)
+			for dead {
+				p.Park(fmt.Sprintf("n%d crashed", n.ID))
+			}
 			// The interrupt runs on the compute processor: it both
 			// occupies this service loop (serializing back-to-back
 			// requests into hot spots) and steals the time from whatever
@@ -128,7 +188,11 @@ func (n *Node) startDispatchers() {
 		for {
 			m := n.coprocQ.Recv(p)
 			work, effect := n.coprocH(m)
-			p.Sleep(n.M.scale(n.ID, work))
+			service, dead := n.M.outage(n.ID, n.M.scale(n.ID, work))
+			for dead {
+				p.Park(fmt.Sprintf("n%d coproc crashed", n.ID))
+			}
+			p.Sleep(service)
 			if effect != nil {
 				effect()
 			}
@@ -247,6 +311,10 @@ func (c *CPU) Bind(p *sim.Proc) { c.proc = p }
 // extended and the stolen time is accounted as protocol overhead.
 func (c *CPU) Use(p *sim.Proc, d sim.Time, cat stats.Category) {
 	d = c.node.M.scale(c.node.ID, d)
+	d, dead := c.node.M.outage(c.node.ID, d)
+	for dead {
+		p.Park(fmt.Sprintf("n%d crashed", c.node.ID))
+	}
 	c.busy = true
 	p.Sleep(d)
 	c.node.Stats.Add(cat, d)

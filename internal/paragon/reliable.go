@@ -1,6 +1,8 @@
 package paragon
 
 import (
+	"sort"
+
 	"gosvm/internal/fault"
 	"gosvm/internal/sim"
 	"gosvm/internal/stats"
@@ -25,15 +27,19 @@ type faultLayer struct {
 	m   *Machine
 	inj *fault.Injector
 
-	reliable    bool
-	rto         sim.Time
-	backoff     float64
-	maxAttempts int
+	reliable     bool
+	rto          sim.Time
+	backoff      float64
+	maxAttempts  int
+	suspectAfter int
 
 	nextID  uint64
 	pending map[uint64]*netMsg
 	// seen holds, per destination node, the ids already delivered there.
 	seen []map[uint64]struct{}
+	// suspected marks nodes already reported dead to OnSuspect, cleared
+	// when the node rejoins.
+	suspected []bool
 }
 
 // netMsg is one logical message in flight: the transport retransmits the
@@ -49,6 +55,11 @@ type netMsg struct {
 	acked     bool
 	lost      bool
 
+	// msg is the original payload of a non-reply message, kept so the
+	// recovery layer can recall and re-address it when its destination
+	// dies (zero Msg for replies).
+	msg Msg
+
 	// transmit puts one (possibly faulty) copy on the wire; deliver hands
 	// the payload to the destination exactly once.
 	transmit func(fault.Verdict)
@@ -58,14 +69,16 @@ type netMsg struct {
 func newFaultLayer(m *Machine, inj *fault.Injector) *faultLayer {
 	p := inj.Plan()
 	fl := &faultLayer{
-		m:           m,
-		inj:         inj,
-		reliable:    inj.Reliable(),
-		rto:         p.RTO,
-		backoff:     p.Backoff,
-		maxAttempts: p.MaxAttempts,
-		pending:     make(map[uint64]*netMsg),
-		seen:        make([]map[uint64]struct{}, len(m.Nodes)),
+		m:            m,
+		inj:          inj,
+		reliable:     inj.Reliable(),
+		rto:          p.RTO,
+		backoff:      p.Backoff,
+		maxAttempts:  p.MaxAttempts,
+		suspectAfter: p.SuspectAfter,
+		pending:      make(map[uint64]*netMsg),
+		seen:         make([]map[uint64]struct{}, len(m.Nodes)),
+		suspected:    make([]bool, len(m.Nodes)),
 	}
 	for i := range fl.seen {
 		fl.seen[i] = make(map[uint64]struct{})
@@ -83,6 +96,7 @@ func (fl *faultLayer) send(n *Node, to int, msg Msg) {
 		kind:      msg.Kind,
 		class:     msg.Class,
 		firstSent: fl.m.K.Now(),
+		msg:       msg,
 	}
 	dst := fl.m.Nodes[to]
 	nm.deliver = func() { dst.enqueue(msg) }
@@ -164,6 +178,13 @@ func (fl *faultLayer) dropped(nm *netMsg) {
 // layer the id is deduped (replays and injected duplicates deliver
 // exactly once) and every copy is acknowledged.
 func (fl *faultLayer) arrive(nm *netMsg) {
+	if fl.m.Down(nm.dst) {
+		// The destination is crashed: the copy falls on the floor — no
+		// delivery, no ack. The retransmission chain keeps trying and
+		// succeeds after the restart (or raises suspicion).
+		fl.dropped(nm)
+		return
+	}
 	if !fl.reliable {
 		nm.deliver()
 		return
@@ -227,7 +248,45 @@ func (fl *faultLayer) scheduleRetry(nm *netMsg, wait sim.Time) {
 		}
 		nm.attempts++
 		fl.m.Nodes[nm.src].Stats.Counts.Retries++
+		// Failure detection: enough unanswered attempts to a node that
+		// really is down (the plan is ground truth, so lossy networks
+		// cannot produce false positives) raises suspicion exactly once
+		// per outage.
+		if nm.attempts >= fl.suspectAfter && !fl.suspected[nm.dst] &&
+			fl.m.Down(nm.dst) && fl.m.OnSuspect != nil {
+			fl.suspected[nm.dst] = true
+			fl.m.OnSuspect(nm.dst, nm.src)
+		}
+		if nm.acked || nm.lost {
+			// The suspicion handler may have recalled this message.
+			return
+		}
 		nm.transmit(fl.inj.Judge(nm.src, nm.dst, nm.kind, nm.reply))
 		fl.scheduleRetry(nm, sim.Time(float64(wait)*fl.backoff))
 	})
+}
+
+// clearSuspect re-arms failure detection for a node that rejoined.
+func (fl *faultLayer) clearSuspect(node int) { fl.suspected[node] = false }
+
+// recall cancels every pending non-reply message to dead whose payload
+// matches the filter and returns the payloads, oldest first. The
+// recovery layer re-addresses them (e.g. to a page's new home); copies
+// already in flight are eaten by the dead node or deduped on delivery.
+func (fl *faultLayer) recall(dead int, match func(Msg) bool) []Msg {
+	var picked []*netMsg
+	for _, nm := range fl.pending {
+		if nm.dst == dead && !nm.reply && !nm.acked && !nm.lost && match(nm.msg) {
+			picked = append(picked, nm)
+		}
+	}
+	// Map iteration order is random; restore send order for determinism.
+	sort.Slice(picked, func(i, j int) bool { return picked[i].id < picked[j].id })
+	out := make([]Msg, 0, len(picked))
+	for _, nm := range picked {
+		nm.lost = true
+		delete(fl.pending, nm.id)
+		out = append(out, nm.msg)
+	}
+	return out
 }

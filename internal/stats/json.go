@@ -20,6 +20,7 @@ func countsMap(c Counters) map[string]int64 {
 		"retries":         c.Retries,
 		"dups_suppressed": c.DupsSuppressed,
 		"msgs_dropped":    c.MsgsDropped,
+		"pages_rehomed":   c.PagesRehomed,
 	}
 }
 
@@ -31,6 +32,8 @@ type jsonNode struct {
 	ProtoMemPeak int64            `json:"proto_mem_peak"`
 	AppMem       int64            `json:"app_mem"`
 	RecoveryNs   int64            `json:"recovery_ns"`
+	ReplicaBytes int64            `json:"replica_bytes"`
+	DetectNs     int64            `json:"detect_ns"`
 }
 
 func nodeJSON(n *Node) jsonNode {
@@ -42,6 +45,8 @@ func nodeJSON(n *Node) jsonNode {
 		ProtoMemPeak: n.ProtoMemPeak,
 		AppMem:       n.AppMem,
 		RecoveryNs:   int64(n.Recovery),
+		ReplicaBytes: n.ReplicaBytes,
+		DetectNs:     int64(n.Detect),
 	}
 	for c := Category(0); c < NumCategories; c++ {
 		jn.TimeNs[c.String()] = int64(n.Time[c])
@@ -68,6 +73,9 @@ func (r *Run) MarshalJSON() ([]byte, error) {
 		ProtocolBytes int64      `json:"protocol_bytes"`
 		PeakProtoMem  int64      `json:"peak_proto_mem"`
 		TotalAppMem   int64      `json:"total_app_mem"`
+		PagesRehomed  int64      `json:"pages_rehomed,omitempty"`
+		ReplicaBytes  int64      `json:"replica_bytes,omitempty"`
+		DetectNs      int64      `json:"detect_ns,omitempty"`
 		Nodes         []jsonNode `json:"nodes"`
 	}{
 		App:           r.App,
@@ -81,6 +89,13 @@ func (r *Run) MarshalJSON() ([]byte, error) {
 		ProtocolBytes: r.TotalBytes(ClassProtocol),
 		PeakProtoMem:  r.PeakProtoMem(),
 		TotalAppMem:   r.TotalAppMem(),
+	}
+	for _, nd := range r.Nodes {
+		out.PagesRehomed += nd.Counts.PagesRehomed
+		out.ReplicaBytes += nd.ReplicaBytes
+		if int64(nd.Detect) > out.DetectNs {
+			out.DetectNs = int64(nd.Detect)
+		}
 	}
 	for _, nd := range r.Nodes {
 		out.Nodes = append(out.Nodes, nodeJSON(nd))

@@ -72,6 +72,10 @@ type Counters struct {
 	Retries        int64 // transport retransmissions issued by this node
 	DupsSuppressed int64 // duplicate deliveries deduped at this node
 	MsgsDropped    int64 // copies the faulty network ate (sent by this node)
+
+	// PagesRehomed counts pages this node adopted as their new home
+	// after the previous home crashed. Zero without crash recovery.
+	PagesRehomed int64
 }
 
 // Node accumulates statistics for one simulated node.
@@ -92,6 +96,14 @@ type Node struct {
 	// message that needed retransmission, the span from first send to
 	// final acknowledgement. Zero in a fault-free run.
 	Recovery sim.Time
+
+	// ReplicaBytes counts home-state replication traffic sent by this
+	// node (mirrored diffs, checkpoint pages). Zero without recovery.
+	ReplicaBytes int64
+	// Detect is the failure-detection latency observed by this node:
+	// crash time to the moment this node declared the victim dead. Zero
+	// unless this node was the reporter.
+	Detect sim.Time
 }
 
 // Add charges d to category c.
@@ -150,6 +162,7 @@ func (n Node) Sub(o Node) Node {
 		Retries:        n.Counts.Retries - o.Counts.Retries,
 		DupsSuppressed: n.Counts.DupsSuppressed - o.Counts.DupsSuppressed,
 		MsgsDropped:    n.Counts.MsgsDropped - o.Counts.MsgsDropped,
+		PagesRehomed:   n.Counts.PagesRehomed - o.Counts.PagesRehomed,
 	}
 	for i := range n.MsgsOut {
 		d.MsgsOut[i] = n.MsgsOut[i] - o.MsgsOut[i]
@@ -159,6 +172,8 @@ func (n Node) Sub(o Node) Node {
 	d.ProtoMemPeak = n.ProtoMemPeak
 	d.AppMem = n.AppMem
 	d.Recovery = n.Recovery - o.Recovery
+	d.ReplicaBytes = n.ReplicaBytes - o.ReplicaBytes
+	d.Detect = n.Detect
 	return d
 }
 
@@ -209,6 +224,7 @@ func (r *Run) AvgNode() Node {
 		sum.Counts.Retries += nd.Counts.Retries
 		sum.Counts.DupsSuppressed += nd.Counts.DupsSuppressed
 		sum.Counts.MsgsDropped += nd.Counts.MsgsDropped
+		sum.Counts.PagesRehomed += nd.Counts.PagesRehomed
 		for i := range sum.MsgsOut {
 			sum.MsgsOut[i] += nd.MsgsOut[i]
 			sum.Bytes[i] += nd.Bytes[i]
@@ -216,6 +232,10 @@ func (r *Run) AvgNode() Node {
 		sum.ProtoMemPeak += nd.ProtoMemPeak
 		sum.AppMem += nd.AppMem
 		sum.Recovery += nd.Recovery
+		sum.ReplicaBytes += nd.ReplicaBytes
+		if nd.Detect > sum.Detect {
+			sum.Detect = nd.Detect
+		}
 	}
 	for i := range avg.Time {
 		avg.Time[i] = sum.Time[i] / sim.Time(n)
@@ -231,6 +251,7 @@ func (r *Run) AvgNode() Node {
 	avg.Counts.Retries = sum.Counts.Retries / n
 	avg.Counts.DupsSuppressed = sum.Counts.DupsSuppressed / n
 	avg.Counts.MsgsDropped = sum.Counts.MsgsDropped / n
+	avg.Counts.PagesRehomed = sum.Counts.PagesRehomed / n
 	for i := range avg.MsgsOut {
 		avg.MsgsOut[i] = sum.MsgsOut[i] / n
 		avg.Bytes[i] = sum.Bytes[i] / n
@@ -238,6 +259,8 @@ func (r *Run) AvgNode() Node {
 	avg.ProtoMemPeak = sum.ProtoMemPeak / n
 	avg.AppMem = sum.AppMem / n
 	avg.Recovery = sum.Recovery / sim.Time(n)
+	avg.ReplicaBytes = sum.ReplicaBytes / n
+	avg.Detect = sum.Detect // max, not mean: the run's detection latency
 	return avg
 }
 
