@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check sweep-faults bench
+.PHONY: all build test race vet fmt check sweep-faults bench bench-json
 
 all: check
 
@@ -31,4 +31,9 @@ sweep-faults:
 	$(GO) run ./cmd/svmbench -faults lossy,hostile,crash -size small -json-dir out/faults
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+
+# Append one perf-trajectory entry (micro-benchmarks + sweep wall clock)
+# to BENCH_sim.json; compare entries across commits to catch regressions.
+bench-json:
+	$(GO) run ./cmd/svmperf -out BENCH_sim.json

@@ -36,12 +36,14 @@ func main() {
 		faults    = flag.String("faults", "", "comma-separated fault profiles to sweep (lossy, hostile, crash)")
 		seed      = flag.Int64("seed", 1, "seed for the -faults plans")
 		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics of the -faults sweep here")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
 	)
 	flag.Parse()
 
 	r := bench.NewRunner(apps.Size(*size))
 	r.PageBytes = *page
+	r.Parallel = *parallel
 	if !*quiet {
 		r.Progress = os.Stderr
 	}

@@ -1,0 +1,159 @@
+// Command svmperf runs the simulator's performance regression benchmarks
+// (internal/perf) plus a wall-clock sweep measurement, and appends one
+// entry to a JSON trajectory file (BENCH_sim.json by default) so perf can
+// be tracked across commits.
+//
+// Usage:
+//
+//	svmperf                       # bench + test-size sweep, append BENCH_sim.json
+//	svmperf -out - -sweep=false   # print the entry to stdout, micro-benchmarks only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/bench"
+	"gosvm/internal/core"
+	"gosvm/internal/perf"
+)
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type sweepResult struct {
+	Size        string  `json:"size"`
+	Cells       int     `json:"cells"`
+	Parallel    int     `json:"parallel"`
+	SeqSeconds  float64 `json:"seq_seconds"`
+	ParSeconds  float64 `json:"par_seconds"`
+	SeqCellsSec float64 `json:"seq_cells_per_sec"`
+	ParCellsSec float64 `json:"par_cells_per_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type entry struct {
+	Timestamp  string                 `json:"timestamp"`
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+	Sweep      *sweepResult           `json:"sweep,omitempty"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sim.json", "trajectory file to append to (- for stdout)")
+		size    = flag.String("size", "test", "problem size for the sweep measurement")
+		doSweep = flag.Bool("sweep", true, "measure Table-2 sweep wall clock at -parallel 1 vs GOMAXPROCS")
+	)
+	flag.Parse()
+
+	e := entry{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchResult{},
+	}
+
+	for _, b := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EventThroughput", perf.EventThroughput},
+		{"ContextSwitch", perf.ContextSwitch},
+		{"Sleep", perf.Sleep},
+		{"ComputeDiff", perf.ComputeDiff},
+		{"ApplyDiff", perf.ApplyDiff},
+		{"SORSmall", perf.SORSmall},
+		{"LUSmall", perf.LUSmall},
+	} {
+		fmt.Fprintf(os.Stderr, "# bench %s...\n", b.name)
+		r := testing.Benchmark(b.fn)
+		e.Benchmarks[b.name] = benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	if *doSweep {
+		e.Sweep = measureSweep(apps.Size(*size))
+	}
+
+	if err := appendEntry(*out, e); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// sweepOnce renders the Table-2 grid into the void at the given
+// parallelism and returns the wall-clock seconds and the cell count.
+func sweepOnce(size apps.Size, parallel int) (float64, int) {
+	r := bench.NewRunner(size)
+	r.Parallel = parallel
+	start := time.Now()
+	r.Table2(io.Discard)
+	secs := time.Since(start).Seconds()
+	// Grid cells plus one sequential baseline per application.
+	cells := len(bench.AppNames()) * (1 + len(r.Procs)*len(core.Protocols))
+	return secs, cells
+}
+
+func measureSweep(size apps.Size) *sweepResult {
+	par := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(os.Stderr, "# sweep %s -parallel 1...\n", size)
+	seqS, cells := sweepOnce(size, 1)
+	fmt.Fprintf(os.Stderr, "# sweep %s -parallel %d...\n", size, par)
+	parS, _ := sweepOnce(size, par)
+	return &sweepResult{
+		Size:        string(size),
+		Cells:       cells,
+		Parallel:    par,
+		SeqSeconds:  seqS,
+		ParSeconds:  parS,
+		SeqCellsSec: float64(cells) / seqS,
+		ParCellsSec: float64(cells) / parS,
+		Speedup:     seqS / parS,
+	}
+}
+
+// appendEntry reads the existing trajectory (a JSON array), appends e, and
+// rewrites the file. "-" prints the single entry to stdout instead.
+func appendEntry(path string, e entry) error {
+	enc := func(w io.Writer, v any) error {
+		j := json.NewEncoder(w)
+		j.SetIndent("", "  ")
+		return j.Encode(v)
+	}
+	if path == "-" {
+		return enc(os.Stdout, e)
+	}
+	var entries []entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("svmperf: %s exists but is not a JSON entry array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entries = append(entries, e)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := enc(f, entries)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 
 	"gosvm"
@@ -32,6 +33,7 @@ func main() {
 		replicas = flag.Int("replicas", 0, "home-state replicas per home (required to survive crashes; hlrc/ohlrc only)")
 		ckpt     = flag.Duration("ckpt", 0, "checkpoint period in simulated time (0 = eager mirroring; requires -replicas)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON statistics instead of text")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential); lets the sequential baseline overlap the main run")
 	)
 	flag.Parse()
 
@@ -63,15 +65,44 @@ func main() {
 		gosvm.WithReplication(*replicas),
 		gosvm.WithCheckpointEvery(gosvm.Time(ckpt.Nanoseconds())),
 	)
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The sequential baseline is an independent simulation; overlap it
+	// with the main run when more than one worker is allowed. Each run
+	// owns its kernel, so results are identical either way.
+	var (
+		seq    *gosvm.Result
+		seqErr error
+		seqCh  chan struct{}
+	)
+	runSeq := func() {
+		s, err := gosvm.Sequential(mk(), *page)
+		seq, seqErr = s, err
+	}
+	if !*noSeq && workers > 1 {
+		seqCh = make(chan struct{})
+		go func() {
+			defer close(seqCh)
+			runSeq()
+		}()
+	}
+
 	res, err := gosvm.Run(opts, mk())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	if !*noSeq {
-		seq, err := gosvm.Sequential(mk(), *page)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if seqCh != nil {
+			<-seqCh
+		} else {
+			runSeq()
+		}
+		if seqErr != nil {
+			fmt.Fprintln(os.Stderr, seqErr)
 			os.Exit(1)
 		}
 		res.Stats.SeqTime = seq.Stats.Elapsed

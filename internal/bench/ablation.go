@@ -18,6 +18,8 @@ func (r *Runner) runWith(app string, opts core.Options) *core.Result {
 	if err != nil {
 		panic(err)
 	}
+	r.acquire()
+	defer r.release()
 	res, err := core.Run(opts, a, false)
 	if err != nil {
 		panic(fmt.Sprintf("bench: ablation %s/%s: %v", app, opts.Protocol, err))
@@ -36,10 +38,12 @@ func (r *Runner) baseOpts(proto core.Protocol, procs int) core.Options {
 
 // AblationEagerDiff compares lazy vs eager diff creation under LRC.
 func (r *Runner) AblationEagerDiff(w io.Writer, app string, procs int) (lazy, eager sim.Time) {
-	lazy = r.Run(app, core.ProtoLRC, procs).Stats.Elapsed
 	opts := r.baseOpts(core.ProtoLRC, procs)
 	opts.EagerDiff = true
-	eager = r.runWith(app, opts).Stats.Elapsed
+	r.inParallel(
+		func() { lazy = r.Run(app, core.ProtoLRC, procs).Stats.Elapsed },
+		func() { eager = r.runWith(app, opts).Stats.Elapsed },
+	)
 	fmt.Fprintf(w, "Ablation (eager diffs, LRC, %s, %d nodes): lazy %ss, eager %ss\n",
 		app, procs, seconds(lazy), seconds(eager))
 	return lazy, eager
@@ -48,10 +52,12 @@ func (r *Runner) AblationEagerDiff(w io.Writer, app string, procs int) (lazy, ea
 // AblationHomePlacement compares application-directed home placement with
 // blind round-robin under HLRC.
 func (r *Runner) AblationHomePlacement(w io.Writer, app string, procs int) (directed, roundRobin sim.Time) {
-	directed = r.Run(app, core.ProtoHLRC, procs).Stats.Elapsed
 	opts := r.baseOpts(core.ProtoHLRC, procs)
 	opts.HomeRoundRobin = true
-	roundRobin = r.runWith(app, opts).Stats.Elapsed
+	r.inParallel(
+		func() { directed = r.Run(app, core.ProtoHLRC, procs).Stats.Elapsed },
+		func() { roundRobin = r.runWith(app, opts).Stats.Elapsed },
+	)
 	fmt.Fprintf(w, "Ablation (home placement, HLRC, %s, %d nodes): app-directed %ss, round-robin %ss\n",
 		app, procs, seconds(directed), seconds(roundRobin))
 	return directed, roundRobin
@@ -64,17 +70,26 @@ func (r *Runner) AblationInterruptCost(w io.Writer, app string, procs int) {
 	fmt.Fprintf(w, "Ablation (interrupt cost, %s, %d nodes):\n", app, procs)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Interrupt (us)\tLRC (s)\tHLRC (s)\tHLRC advantage")
-	for _, intr := range []sim.Time{690, 100, 10} {
+	intrs := []sim.Time{690, 100, 10}
+	ls := make([]sim.Time, len(intrs))
+	hs := make([]sim.Time, len(intrs))
+	r.forEach(2*len(intrs), func(i int) {
+		intr := intrs[i/2]
 		costs := paragon.DefaultCosts()
 		costs.ReceiveInterrupt = intr * sim.Microsecond
-		optsL := r.baseOpts(core.ProtoLRC, procs)
-		optsL.Costs = costs
-		optsH := r.baseOpts(core.ProtoHLRC, procs)
-		optsH.Costs = costs
-		l := r.runWith(app, optsL).Stats.Elapsed
-		h := r.runWith(app, optsH).Stats.Elapsed
+		if i%2 == 0 {
+			opts := r.baseOpts(core.ProtoLRC, procs)
+			opts.Costs = costs
+			ls[i/2] = r.runWith(app, opts).Stats.Elapsed
+		} else {
+			opts := r.baseOpts(core.ProtoHLRC, procs)
+			opts.Costs = costs
+			hs[i/2] = r.runWith(app, opts).Stats.Elapsed
+		}
+	})
+	for i, intr := range intrs {
 		fmt.Fprintf(tw, "%d\t%s\t%s\t%.1f%%\n",
-			intr, seconds(l), seconds(h), (float64(l)/float64(h)-1)*100)
+			intr, seconds(ls[i]), seconds(hs[i]), (float64(ls[i])/float64(hs[i])-1)*100)
 	}
 	tw.Flush()
 }
@@ -84,14 +99,19 @@ func (r *Runner) AblationPageSize(w io.Writer, app string, procs int) {
 	fmt.Fprintf(w, "Ablation (page size, %s, %d nodes):\n", app, procs)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Page (B)\tLRC (s)\tHLRC (s)")
-	for _, pb := range []int{4096, 8192} {
-		optsL := r.baseOpts(core.ProtoLRC, procs)
-		optsL.PageBytes = pb
-		optsH := r.baseOpts(core.ProtoHLRC, procs)
-		optsH.PageBytes = pb
-		fmt.Fprintf(tw, "%d\t%s\t%s\n", pb,
-			seconds(r.runWith(app, optsL).Stats.Elapsed),
-			seconds(r.runWith(app, optsH).Stats.Elapsed))
+	pbs := []int{4096, 8192}
+	times := make([]sim.Time, 2*len(pbs))
+	r.forEach(len(times), func(i int) {
+		proto := core.ProtoLRC
+		if i%2 == 1 {
+			proto = core.ProtoHLRC
+		}
+		opts := r.baseOpts(proto, procs)
+		opts.PageBytes = pbs[i/2]
+		times[i] = r.runWith(app, opts).Stats.Elapsed
+	})
+	for i, pb := range pbs {
+		fmt.Fprintf(tw, "%d\t%s\t%s\n", pb, seconds(times[2*i]), seconds(times[2*i+1]))
 	}
 	tw.Flush()
 }
@@ -102,10 +122,15 @@ func (r *Runner) AblationGCThreshold(w io.Writer, app string, procs int) {
 	fmt.Fprintf(w, "Ablation (GC threshold, LRC, %s, %d nodes):\n", app, procs)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Threshold (MB)\tTime (s)\tGC time (s)\tPeak proto mem (MB)\tGCs")
-	for _, thr := range []int64{1 << 20, 8 << 20, 256 << 20} {
+	thrs := []int64{1 << 20, 8 << 20, 256 << 20}
+	ress := make([]*core.Result, len(thrs))
+	r.forEach(len(thrs), func(i int) {
 		opts := r.baseOpts(core.ProtoLRC, procs)
-		opts.GCThreshold = thr
-		res := r.runWith(app, opts)
+		opts.GCThreshold = thrs[i]
+		ress[i] = r.runWith(app, opts)
+	})
+	for i, thr := range thrs {
+		res := ress[i]
 		avg := res.Stats.AvgNode()
 		var gcs int64
 		for _, nd := range res.Stats.Nodes {
@@ -121,10 +146,12 @@ func (r *Runner) AblationGCThreshold(w io.Writer, app string, procs int) {
 // AblationOverlapLocks measures the §4.3 extension: synchronization
 // serviced by the co-processor under OHLRC.
 func (r *Runner) AblationOverlapLocks(w io.Writer, app string, procs int) (base, overlapped sim.Time) {
-	base = r.Run(app, core.ProtoOHLRC, procs).Stats.Elapsed
 	opts := r.baseOpts(core.ProtoOHLRC, procs)
 	opts.OverlapLocks = true
-	overlapped = r.runWith(app, opts).Stats.Elapsed
+	r.inParallel(
+		func() { base = r.Run(app, core.ProtoOHLRC, procs).Stats.Elapsed },
+		func() { overlapped = r.runWith(app, opts).Stats.Elapsed },
+	)
 	fmt.Fprintf(w, "Ablation (co-processor lock service, OHLRC, %s, %d nodes): compute-serviced %ss, coproc-serviced %ss\n",
 		app, procs, seconds(base), seconds(overlapped))
 	return base, overlapped
@@ -133,10 +160,12 @@ func (r *Runner) AblationOverlapLocks(w io.Writer, app string, procs int) (base,
 // AblationMesh compares the crossbar network model with the link-level
 // 2-D wormhole mesh under HLRC.
 func (r *Runner) AblationMesh(w io.Writer, app string, procs int) (crossbar, meshTime sim.Time) {
-	crossbar = r.Run(app, core.ProtoHLRC, procs).Stats.Elapsed
 	opts := r.baseOpts(core.ProtoHLRC, procs)
 	opts.Mesh = true
-	meshTime = r.runWith(app, opts).Stats.Elapsed
+	r.inParallel(
+		func() { crossbar = r.Run(app, core.ProtoHLRC, procs).Stats.Elapsed },
+		func() { meshTime = r.runWith(app, opts).Stats.Elapsed },
+	)
 	fmt.Fprintf(w, "Ablation (network model, HLRC, %s, %d nodes): crossbar %ss, 2-D mesh %ss\n",
 		app, procs, seconds(crossbar), seconds(meshTime))
 	return crossbar, meshTime
@@ -149,15 +178,18 @@ func (r *Runner) AblationAURC(w io.Writer, app string, procs int) {
 	fmt.Fprintf(w, "Ablation (AURC hardware emulation, %s, %d nodes):\n", app, procs)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Protocol\tTime (s)\tUpdate traffic (MB)")
-	for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC, core.ProtoAURC} {
-		var res *core.Result
-		if proto == core.ProtoAURC {
-			res = r.runWith(app, r.baseOpts(proto, procs))
+	protos := []core.Protocol{core.ProtoLRC, core.ProtoHLRC, core.ProtoAURC}
+	ress := make([]*core.Result, len(protos))
+	r.forEach(len(protos), func(i int) {
+		if protos[i] == core.ProtoAURC {
+			ress[i] = r.runWith(app, r.baseOpts(protos[i], procs))
 		} else {
-			res = r.Run(app, proto, procs)
+			ress[i] = r.Run(app, protos[i], procs)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\n", proto, seconds(res.Stats.Elapsed),
-			mb(res.Stats.TotalBytes(stats.ClassData)))
+	})
+	for i, proto := range protos {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", proto, seconds(ress[i].Stats.Elapsed),
+			mb(ress[i].Stats.TotalBytes(stats.ClassData)))
 	}
 	tw.Flush()
 }

@@ -5,12 +5,17 @@
 // breakdowns (Figure 3), per-processor inter-barrier breakdowns
 // (Figure 4), and the zero-initialized SOR experiment of §4.8.
 //
-// A Runner memoizes simulation runs so one sweep feeds all tables.
+// A Runner memoizes simulation runs so one sweep feeds all tables, and
+// fans independent cells out across host cores: every cell owns its own
+// simulation kernel, so per-cell determinism is free, and all rendering
+// reads completed cells in fixed grid order — tables, figures, and
+// per-cell JSON are byte-identical at any parallelism level.
 package bench
 
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"gosvm/internal/apps"
@@ -26,8 +31,22 @@ type Runner struct {
 	GCThreshold int64
 	Procs       []int     // machine sizes; the paper uses 8, 32, 64
 	Progress    io.Writer // optional progress log
+	// Parallel caps how many simulation cells run concurrently on the
+	// host. 0 means GOMAXPROCS; 1 restores fully sequential execution.
+	// Results are independent of the setting (see the package comment).
+	Parallel int
 
-	cache map[runKey]*core.Result
+	mu       sync.Mutex // guards cache and Progress writes
+	cache    map[runKey]*cacheEntry
+	gateOnce sync.Once
+	gateCh   chan struct{}
+}
+
+// cacheEntry is a singleflight memo slot: the first Run for a key owns
+// the simulation; later callers block on done.
+type cacheEntry struct {
+	done chan struct{}
+	res  *core.Result
 }
 
 type runKey struct {
@@ -44,20 +63,32 @@ func NewRunner(size apps.Size) *Runner {
 		PageBytes:   8192,
 		GCThreshold: 8 << 20,
 		Procs:       []int{8, 32, 64},
-		cache:       map[runKey]*core.Result{},
+		cache:       map[runKey]*cacheEntry{},
 	}
 }
 
 // Run returns the (memoized) result of app under proto on procs nodes.
-// proto "seq" ignores procs.
+// proto "seq" ignores procs. Run is safe to call from many goroutines;
+// concurrent calls for the same cell share one simulation.
 func (r *Runner) Run(app string, proto core.Protocol, procs int) *core.Result {
 	if proto == core.ProtoSeq {
 		procs = 1
 	}
 	key := runKey{app, proto, procs}
-	if res, ok := r.cache[key]; ok {
-		return res
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		if e.res == nil {
+			panic(fmt.Sprintf("bench: %s/%s/p%d: owning run failed", app, proto, procs))
+		}
+		return e.res
 	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	defer close(e.done)
+
 	a, err := apps.New(app, r.Size)
 	if err != nil {
 		panic(err)
@@ -68,16 +99,16 @@ func (r *Runner) Run(app string, proto core.Protocol, procs int) *core.Result {
 		PageBytes:   r.PageBytes,
 		GCThreshold: r.GCThreshold,
 	}
+	r.acquire()
 	start := time.Now()
 	res, err := core.Run(opts, a, false)
+	r.release()
 	if err != nil {
 		panic(fmt.Sprintf("bench: %s/%s/p%d: %v", app, proto, procs, err))
 	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "# ran %s/%s/p%d: simulated %.1fs (%.2fs real)\n",
-			app, proto, procs, res.Stats.Elapsed.Micros()/1e6, time.Since(start).Seconds())
-	}
-	r.cache[key] = res
+	r.progressf("# ran %s/%s/p%d: simulated %.1fs (%.2fs real)\n",
+		app, proto, procs, res.Stats.Elapsed.Micros()/1e6, time.Since(start).Seconds())
+	e.res = res
 	return res
 }
 
@@ -93,6 +124,18 @@ func (r *Runner) Speedup(app string, proto core.Protocol, procs int) float64 {
 
 // AppNames lists the benchmark applications in the paper's order.
 func AppNames() []string { return apps.Names }
+
+// progressf writes one progress line, serialized across workers. Lines
+// may interleave across cells in host-timing order; grid output is
+// unaffected (it renders from the memo cache in fixed order).
+func (r *Runner) progressf(format string, args ...any) {
+	if r.Progress == nil {
+		return
+	}
+	r.mu.Lock()
+	fmt.Fprintf(r.Progress, format, args...)
+	r.mu.Unlock()
+}
 
 // seconds formats simulated time as seconds.
 func seconds(t sim.Time) string { return fmt.Sprintf("%.1f", t.Micros()/1e6) }

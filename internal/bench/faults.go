@@ -56,6 +56,40 @@ func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir s
 	protos := faultProtocols(profile)
 	crash := profile == fault.ProfileCrash
 
+	// Fan every cell of the grid out across workers, then render the
+	// table and per-cell JSON sequentially in fixed grid order, so the
+	// output is byte-identical at any parallelism level. The injector
+	// only reads the plan, so one plan is safely shared across cells.
+	type fcell struct {
+		app   string
+		proto core.Protocol
+		procs int
+	}
+	var cells []fcell
+	for _, app := range AppNames() {
+		for _, procs := range r.Procs {
+			for _, proto := range protos {
+				cells = append(cells, fcell{app, proto, procs})
+			}
+		}
+	}
+	results := make([]*core.Result, len(cells))
+	errs := make([]error, len(cells))
+	r.forEach(len(cells)+len(AppNames()), func(i int) {
+		if i < len(AppNames()) {
+			r.Seq(AppNames()[i]) // warm the sequential baselines too
+			return
+		}
+		c := cells[i-len(AppNames())]
+		results[i-len(AppNames())], errs[i-len(AppNames())] = r.runFaulted(c.app, c.proto, c.procs, plan)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	next := 0 // cells[] index, advanced in the same nesting order as below
+
 	fmt.Fprintf(out, "Speedups under fault profile %q (seed %d)\n", profile, seed)
 	if crash {
 		fmt.Fprintln(out, "home-based protocols with Recovery.Replicas=1; node 1 crashes mid-run and its pages are re-homed")
@@ -77,10 +111,8 @@ func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir s
 			var rehomed int64
 			var detect sim.Time
 			for _, proto := range protos {
-				res, err := r.runFaulted(app, proto, procs, plan)
-				if err != nil {
-					return err
-				}
+				res := results[next]
+				next++
 				res.Stats.SeqTime = seq
 				fmt.Fprintf(tw, "\t%.2f", res.Stats.Speedup())
 				for _, nd := range res.Stats.Nodes {
@@ -130,14 +162,14 @@ func (r *Runner) runFaulted(app string, proto core.Protocol, procs int, plan fau
 	if len(plan.Crashes) > 0 {
 		opts.Recovery = core.Recovery{Replicas: 1}
 	}
+	r.acquire()
 	start := time.Now()
 	res, err := core.Run(opts, a, false)
+	r.release()
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s/%s/p%d: %w", app, proto, procs, err)
 	}
-	if r.Progress != nil {
-		fmt.Fprintf(r.Progress, "# ran %s/%s/p%d (faulted): simulated %.1fs (%.2fs real)\n",
-			app, proto, procs, res.Stats.Elapsed.Micros()/1e6, time.Since(start).Seconds())
-	}
+	r.progressf("# ran %s/%s/p%d (faulted): simulated %.1fs (%.2fs real)\n",
+		app, proto, procs, res.Stats.Elapsed.Micros()/1e6, time.Since(start).Seconds())
 	return res, nil
 }

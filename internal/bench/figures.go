@@ -42,6 +42,15 @@ func breakdownOf(res *core.Result, app string, proto core.Protocol, procs int) B
 // smallest and largest machine size, as in the paper's Figure 3.
 func (r *Runner) Fig3Data() []BreakdownRow {
 	sizes := []int{r.Procs[0], r.Procs[len(r.Procs)-1]}
+	var cells []cell
+	for _, app := range AppNames() {
+		for _, p := range sizes {
+			for _, proto := range core.Protocols {
+				cells = append(cells, cell{app, proto, p})
+			}
+		}
+	}
+	r.warm(cells)
 	var rows []BreakdownRow
 	for _, app := range AppNames() {
 		for _, p := range sizes {
@@ -81,22 +90,41 @@ type Fig4Row struct {
 // phase; we select the inter-barrier phase with the most lock and data
 // activity, which is the same phase of the computation.
 func (r *Runner) Fig4Data() []Fig4Row {
-	var rows []Fig4Row
+	// The four phase-captured runs are uncached and independent; compute
+	// them concurrently, then assemble rows in fixed configuration order.
+	type cfg struct {
+		procs int
+		proto core.Protocol
+	}
+	var cfgs []cfg
 	for _, procs := range []int{8, 32} {
 		for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC} {
-			a, err := apps.New("water-nsq", r.Size)
-			if err != nil {
-				panic(err)
-			}
-			res, err := core.Run(core.Options{
-				Protocol:    proto,
-				NumProcs:    procs,
-				PageBytes:   r.PageBytes,
-				GCThreshold: r.GCThreshold,
-			}, a, true)
-			if err != nil {
-				panic(err)
-			}
+			cfgs = append(cfgs, cfg{procs, proto})
+		}
+	}
+	results := make([]*core.Result, len(cfgs))
+	r.forEach(len(cfgs), func(i int) {
+		a, err := apps.New("water-nsq", r.Size)
+		if err != nil {
+			panic(err)
+		}
+		r.acquire()
+		defer r.release()
+		res, err := core.Run(core.Options{
+			Protocol:    cfgs[i].proto,
+			NumProcs:    cfgs[i].procs,
+			PageBytes:   r.PageBytes,
+			GCThreshold: r.GCThreshold,
+		}, a, true)
+		if err != nil {
+			panic(err)
+		}
+		results[i] = res
+	})
+	var rows []Fig4Row
+	for i, c := range cfgs {
+		procs, proto, res := c.procs, c.proto, results[i]
+		{
 			var phase *stats.Phase
 			var best sim.Time
 			for i := range res.Phases {

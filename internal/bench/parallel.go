@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+
+	"gosvm/internal/core"
+)
+
+// workers returns the effective host-parallelism cap.
+func (r *Runner) workers() int {
+	if r.Parallel > 0 {
+		return r.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// gate returns the semaphore bounding concurrent simulations. Only the
+// leaf execution sites (Run's miss path, runWith, runFaulted) acquire a
+// slot, never code that waits on other cells, so fan-out helpers compose
+// without hold-and-wait deadlocks.
+func (r *Runner) gate() chan struct{} {
+	r.gateOnce.Do(func() { r.gateCh = make(chan struct{}, r.workers()) })
+	return r.gateCh
+}
+
+func (r *Runner) acquire() { r.gate() <- struct{}{} }
+func (r *Runner) release() { <-r.gate() }
+
+// forEach runs fn(i) for every i in [0, n), fanning the calls out as
+// goroutines bounded by the simulation gate. A panic in any call is
+// re-raised on the caller (first one wins) after all calls finish, so
+// sequential error behavior is preserved.
+func (r *Runner) forEach(n int, fn func(int)) {
+	if n <= 1 || r.workers() <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicOnce.Do(func() { panicked = v })
+				}
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// inParallel runs the thunks through forEach.
+func (r *Runner) inParallel(fns ...func()) {
+	r.forEach(len(fns), func(i int) { fns[i]() })
+}
+
+// cell identifies one memoized grid run.
+type cell struct {
+	app   string
+	proto core.Protocol
+	procs int
+}
+
+// warm executes the given cells concurrently (memoized, singleflight) so
+// subsequent rendering is pure cache reads in fixed grid order.
+func (r *Runner) warm(cells []cell) {
+	r.forEach(len(cells), func(i int) {
+		c := cells[i]
+		r.Run(c.app, c.proto, c.procs)
+	})
+}

@@ -88,6 +88,7 @@ func (b *base) init(sys *System, self int, co coherence) {
 }
 
 func (b *base) costs() *paragon.Costs { return &b.sys.Opts.Costs }
+func (b *base) pool() *mem.Pool       { return b.sys.Space.Pool }
 func (b *base) st() *stats.Node       { return b.node.Stats }
 func (b *base) app() *sim.Proc        { return b.sys.appProcs[b.self] }
 
@@ -467,7 +468,7 @@ func (b *base) Barrier(id int) {
 			// Wait for the stragglers; the dispatcher completes the
 			// barrier and unparks us via the manager's local release slot.
 			b.bmgr.localWait = b.app()
-			b.app().Park(fmt.Sprintf("barrier %d", id))
+			b.app().ParkArg("barrier", int64(id))
 			release = b.bmgr.localRelease
 			b.bmgr.localRelease = nil
 		}

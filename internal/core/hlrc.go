@@ -168,7 +168,7 @@ func (e *hlrcEngine) ReadFault(page int) {
 			return
 		}
 		m.waiters = append(m.waiters, e.app())
-		e.app().Park(fmt.Sprintf("hlrc home wait page %d", page))
+		e.app().ParkArg("hlrc home wait page", int64(page))
 	}
 	resp := e.node.Call(e.app(), e.home(page), paragon.Msg{
 		Kind:   kFetchPage,
@@ -199,7 +199,7 @@ func (e *hlrcEngine) WriteFault(page int) {
 	for m.inflight {
 		// Overlapped: the twin is still feeding the co-processor's diff.
 		m.twinWaiter = append(m.twinWaiter, e.app())
-		e.app().Park(fmt.Sprintf("hlrc twin busy page %d", page))
+		e.app().ParkArg("hlrc twin busy page", int64(page))
 	}
 	e.use(e.costs().PageFault, stats.CatProtocol)
 	e.st().Counts.WriteFaults++
@@ -210,10 +210,10 @@ func (e *hlrcEngine) WriteFault(page int) {
 			// mapping. The twin exists solely so the simulation knows
 			// which words the hardware shipped; it costs nothing.
 			e.use(e.costs().PageProtect, stats.CatProtocol)
-			p.MakeTwin()
+			p.MakeTwin(e.pool())
 		} else {
 			e.use(e.costs().TwinCost(e.sys.Space.PageBytes()), stats.CatProtocol)
-			p.MakeTwin()
+			p.MakeTwin(e.pool())
 			e.st().MemAlloc(int64(e.sys.Space.PageBytes()))
 		}
 	} else if e.recovering() && !e.aurc {
@@ -221,7 +221,7 @@ func (e *hlrcEngine) WriteFault(page int) {
 		// writes exist nowhere else, so they must be diffed at interval
 		// end and mirrored to the replicas.
 		e.use(e.costs().TwinCost(e.sys.Space.PageBytes()), stats.CatProtocol)
-		p.MakeTwin()
+		p.MakeTwin(e.pool())
 		e.st().MemAlloc(int64(e.sys.Space.PageBytes()))
 	}
 	p.Stores = 0
@@ -285,8 +285,8 @@ func (e *hlrcEngine) closeCommit() {
 					})
 					continue
 				}
-				diff := mem.ComputeDiff(pg, p.Twin, p.Data)
-				p.DropTwin()
+				diff := mem.ComputeDiffPooled(e.pool(), pg, p.Twin, p.Data)
+				p.DropTwin(e.pool())
 				e.st().MemFree(int64(e.sys.Space.PageBytes()))
 				e.st().Counts.DiffsCreated++
 				e.emit(trace.DiffCreate, pg, -1, int64(diff.WireSize()))
@@ -304,10 +304,10 @@ func (e *hlrcEngine) closeCommit() {
 		if e.aurc {
 			// The hardware already streamed the writes home; the message
 			// models their aggregate write-through traffic.
-			diff := mem.ComputeDiff(pg, p.Twin, p.Data)
+			diff := mem.ComputeDiffPooled(e.pool(), pg, p.Twin, p.Data)
 			stores := p.Stores
 			p.Stores = 0
-			p.DropTwin()
+			p.DropTwin(e.pool())
 			e.sendAUUpdate(&diffFlush{
 				Page: pg, Writer: e.self, Interval: rec.Interval, Dep: dep, Diff: diff,
 			}, stores)
@@ -321,8 +321,8 @@ func (e *hlrcEngine) closeCommit() {
 			})
 			continue
 		}
-		diff := mem.ComputeDiff(pg, p.Twin, p.Data)
-		p.DropTwin()
+		diff := mem.ComputeDiffPooled(e.pool(), pg, p.Twin, p.Data)
+		p.DropTwin(e.pool())
 		e.st().MemFree(int64(e.sys.Space.PageBytes()))
 		e.st().Counts.DiffsCreated++
 		e.emit(trace.DiffCreate, pg, -1, int64(diff.WireSize()))
@@ -451,8 +451,8 @@ func (e *hlrcEngine) handleMakeDiff(m paragon.Msg) (sim.Time, func()) {
 	return e.costs().DiffCreateCost(e.sys.Space.PageWords), func() {
 		req := m.Body.(*makeDiffReq)
 		p := e.pt.Page(req.Page)
-		diff := mem.ComputeDiff(req.Page, p.Twin, p.Data)
-		p.DropTwin()
+		diff := mem.ComputeDiffPooled(e.pool(), req.Page, p.Twin, p.Data)
+		p.DropTwin(e.pool())
 		e.st().MemFree(int64(e.sys.Space.PageBytes()))
 		e.st().Counts.DiffsCreated++
 		e.emit(trace.DiffCreate, req.Page, -1, int64(diff.WireSize()))
@@ -525,6 +525,13 @@ func (e *hlrcEngine) homeApply(df *diffFlush) {
 	}
 	e.st().Counts.DiffsApplied++
 	e.emit(trace.DiffApply, df.Page, df.Writer, int64(df.Diff.Words()))
+	if e.sys.rec == nil {
+		// Home-based diffs are single-use: once applied at the home the
+		// flush is dead, so its pooled backing can be recycled. With
+		// recovery on, the same diff may still sit in writer-side logs or
+		// be mirrored to replicas — leave those to the garbage collector.
+		df.Diff.Release(e.pool())
+	}
 }
 
 // homeDrain retries pending diffs, fetches, and local waiters for a page
@@ -612,7 +619,7 @@ func (e *hlrcEngine) Finish() {
 		m := &e.pages[pg]
 		for m.inflight {
 			m.twinWaiter = append(m.twinWaiter, e.app())
-			e.app().Park(fmt.Sprintf("finish: diff in flight page %d", pg))
+			e.app().ParkArg("finish: diff in flight page", int64(pg))
 		}
 	}
 	for l, ls := range e.locks {

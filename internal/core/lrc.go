@@ -138,7 +138,7 @@ func (e *lrcEngine) WriteFault(page int) {
 	// before re-twinning.
 	e.commitOwnDiff(page, true)
 	e.use(e.costs().TwinCost(e.sys.Space.PageBytes()), stats.CatProtocol)
-	p.MakeTwin()
+	p.MakeTwin(e.pool())
 	e.st().MemAlloc(int64(e.sys.Space.PageBytes()))
 	p.State = mem.ReadWrite
 	e.markDirty(page)
@@ -309,7 +309,7 @@ func (e *lrcEngine) commitOwnDiff(page int, charge bool) {
 	m := &e.pages[page]
 	for m.inflight {
 		m.twinWaiter = append(m.twinWaiter, e.app())
-		e.app().Park(fmt.Sprintf("lrc twin busy page %d", page))
+		e.app().ParkArg("lrc twin busy page", int64(page))
 	}
 	if m.pending == nil {
 		return
@@ -329,8 +329,8 @@ func (e *lrcEngine) commitOwnDiff(page int, charge bool) {
 // the live twin.
 func (e *lrcEngine) materializeDiff(page int, interval int32) {
 	p := e.pt.Page(page)
-	d := mem.ComputeDiff(page, p.Twin, p.Data)
-	p.DropTwin()
+	d := mem.ComputeDiffPooled(e.pool(), page, p.Twin, p.Data)
+	p.DropTwin(e.pool())
 	e.st().MemFree(int64(e.sys.Space.PageBytes()))
 	e.storeDiff(page, interval, &d)
 }
@@ -482,12 +482,12 @@ func (e *lrcEngine) runGC() {
 		m := &e.pages[pg]
 		for m.inflight {
 			m.twinWaiter = append(m.twinWaiter, e.app())
-			e.app().Park(fmt.Sprintf("gc twin busy page %d", pg))
+			e.app().ParkArg("gc twin busy page", int64(pg))
 		}
 		if m.pending != nil {
 			// Nobody fetched this diff during validation; it is dead.
 			p := e.pt.Page(pg)
-			p.DropTwin()
+			p.DropTwin(e.pool())
 			e.st().MemFree(int64(e.sys.Space.PageBytes()))
 			m.pending = nil
 		}
@@ -680,7 +680,7 @@ func (e *lrcEngine) Finish() {
 		m := &e.pages[pg]
 		for m.inflight {
 			m.twinWaiter = append(m.twinWaiter, e.app())
-			e.app().Park(fmt.Sprintf("finish: diff in flight page %d", pg))
+			e.app().ParkArg("finish: diff in flight page", int64(pg))
 		}
 	}
 	for l, ls := range e.locks {

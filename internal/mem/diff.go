@@ -14,17 +14,31 @@ type Run struct {
 type Diff struct {
 	Page int
 	Runs []Run
+
+	// buf is the pooled backing array all Runs' Vals are sliced from, nil
+	// for unpooled diffs. See ComputeDiffPooled and Release.
+	buf []float64
 }
 
 // ComputeDiff scans cur against the clean twin and returns the modified
 // runs. The two slices must have equal length.
 func ComputeDiff(page int, twin, cur []float64) Diff {
+	return ComputeDiffPooled(nil, page, twin, cur)
+}
+
+// ComputeDiffPooled is ComputeDiff with the run values packed into a
+// single backing buffer drawn from pool (one allocation per diff instead
+// of one per run, none when the pool has a free backing). A nil pool
+// falls back to a plain allocation. If the diff's sole owner discards it,
+// Release returns the backing for reuse; a diff that stays referenced is
+// simply left to the garbage collector.
+func ComputeDiffPooled(pool *Pool, page int, twin, cur []float64) Diff {
 	if len(twin) != len(cur) {
 		panic("mem: diff of mismatched pages")
 	}
-	d := Diff{Page: page}
-	i := 0
-	for i < len(cur) {
+	// Pass 1: count modified words and runs so the backing is exact.
+	words, runs := 0, 0
+	for i := 0; i < len(cur); {
 		if sameBits(twin[i], cur[i]) {
 			i++
 			continue
@@ -33,12 +47,53 @@ func ComputeDiff(page int, twin, cur []float64) Diff {
 		for j < len(cur) && !sameBits(twin[j], cur[j]) {
 			j++
 		}
-		vals := make([]float64, j-i)
+		words += j - i
+		runs++
+		i = j
+	}
+	d := Diff{Page: page}
+	if runs == 0 {
+		return d
+	}
+	var buf []float64
+	if pool != nil {
+		buf = pool.getBuf(words)
+		d.buf = buf
+	} else {
+		buf = make([]float64, words)
+	}
+	d.Runs = make([]Run, 0, runs)
+	// Pass 2: fill the runs, slicing values out of the shared backing.
+	used := 0
+	for i := 0; i < len(cur); {
+		if sameBits(twin[i], cur[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(cur) && !sameBits(twin[j], cur[j]) {
+			j++
+		}
+		vals := buf[used : used+(j-i)]
 		copy(vals, cur[i:j])
+		used += j - i
 		d.Runs = append(d.Runs, Run{Off: i, Vals: vals})
 		i = j
 	}
 	return d
+}
+
+// Release returns a pooled diff's backing buffer to pool and empties the
+// diff. It must only be called by the diff's sole owner, after the last
+// Apply; no Run of the diff may be used afterwards. No-op for unpooled
+// diffs (and safe to call twice).
+func (d *Diff) Release(pool *Pool) {
+	if d.buf == nil {
+		return
+	}
+	pool.putBuf(d.buf)
+	d.buf = nil
+	d.Runs = nil
 }
 
 func sameBits(a, b float64) bool {

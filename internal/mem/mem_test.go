@@ -100,12 +100,12 @@ func TestTwinLifecycle(t *testing.T) {
 	tb := NewTable(s)
 	p := tb.Materialize(0)
 	p.Data[1] = 42
-	p.MakeTwin()
+	p.MakeTwin(nil)
 	p.Data[1] = 43
 	if p.Twin[1] != 42 {
 		t.Fatal("twin does not hold pre-write value")
 	}
-	p.DropTwin()
+	p.DropTwin(nil)
 	if p.Twin != nil {
 		t.Fatal("DropTwin left twin")
 	}

@@ -80,16 +80,25 @@ func (t *Table) Materialize(id int) *Page {
 	return p
 }
 
-// MakeTwin snapshots the current page contents as the twin.
-func (p *Page) MakeTwin() {
+// MakeTwin snapshots the current page contents as the twin, drawing the
+// buffer from pool when one is supplied (nil pool allocates).
+func (p *Page) MakeTwin(pool *Pool) {
 	if p.Data == nil {
 		panic("mem: twin of a page with no copy")
 	}
 	if p.Twin == nil {
-		p.Twin = make([]float64, len(p.Data))
+		if pool != nil {
+			p.Twin = pool.GetPage()
+		} else {
+			p.Twin = make([]float64, len(p.Data))
+		}
 	}
 	copy(p.Twin, p.Data)
 }
 
-// DropTwin discards the twin.
-func (p *Page) DropTwin() { p.Twin = nil }
+// DropTwin discards the twin, recycling its buffer into pool (which may
+// be nil).
+func (p *Page) DropTwin(pool *Pool) {
+	pool.PutPage(p.Twin)
+	p.Twin = nil
+}

@@ -1,0 +1,69 @@
+package mem
+
+// Pool recycles the two kinds of float64 buffers the protocols churn
+// through: page-sized twin snapshots and the value backing of diffs. One
+// simulation kernel is single-threaded, so the free lists need no locking;
+// concurrent simulations each own their Space and therefore their Pool.
+//
+// Pooling invariants:
+//   - A buffer handed out by GetPage/getBuf has exactly one owner; it may
+//     be returned at most once, by that owner.
+//   - Returned buffers are never zeroed: every consumer overwrites the
+//     full length it uses (twins are copied over, diff backings are filled
+//     by ComputeDiffPooled before any run aliases them).
+//   - Releasing is optional. A pooled buffer that is still referenced
+//     somewhere (LRC diffs cached on several nodes, recovery logs) is
+//     simply never released and falls to the Go GC like any other slice.
+type Pool struct {
+	pageWords int
+	pages     [][]float64 // twin/page buffers, len == pageWords
+	bufs      [][]float64 // diff value backings, cap <= pageWords
+}
+
+// NewPool returns a pool for pages of pageWords words.
+func NewPool(pageWords int) *Pool {
+	return &Pool{pageWords: pageWords}
+}
+
+// GetPage returns a page-sized buffer with unspecified contents.
+func (p *Pool) GetPage() []float64 {
+	if n := len(p.pages); n > 0 {
+		b := p.pages[n-1]
+		p.pages[n-1] = nil
+		p.pages = p.pages[:n-1]
+		return b
+	}
+	return make([]float64, p.pageWords)
+}
+
+// PutPage returns a page-sized buffer to the pool.
+func (p *Pool) PutPage(b []float64) {
+	if p == nil || len(b) != p.pageWords {
+		return
+	}
+	p.pages = append(p.pages, b)
+}
+
+// getBuf returns a buffer of length n (n <= pageWords) with unspecified
+// contents, reusing a previous diff backing when one is free.
+func (p *Pool) getBuf(n int) []float64 {
+	if l := len(p.bufs); l > 0 {
+		b := p.bufs[l-1]
+		p.bufs[l-1] = nil
+		p.bufs = p.bufs[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this diff; drop it and allocate page-capacity so
+		// the replacement fits every future diff.
+	}
+	return make([]float64, n, p.pageWords)
+}
+
+// putBuf returns a diff backing to the pool.
+func (p *Pool) putBuf(b []float64) {
+	if p == nil || cap(b) == 0 || cap(b) > p.pageWords {
+		return
+	}
+	p.bufs = append(p.bufs, b)
+}

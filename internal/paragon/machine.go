@@ -61,6 +61,8 @@ func New(k *sim.Kernel, n int, costs Costs) *Machine {
 			computeQ: sim.NewChan[Msg](fmt.Sprintf("n%d.compute", i)),
 			coprocQ:  sim.NewChan[Msg](fmt.Sprintf("n%d.coproc", i)),
 		}
+		nd.crashReason = fmt.Sprintf("n%d crashed", i)
+		nd.coprocCrashReason = fmt.Sprintf("n%d coproc crashed", i)
 		nd.CPU = &CPU{node: nd}
 		m.Nodes = append(m.Nodes, nd)
 		nd.startDispatchers()
@@ -150,6 +152,11 @@ type Node struct {
 	coprocQ  *sim.Chan[Msg]
 	computeH Handler
 	coprocH  Handler
+
+	// crashReason is prebuilt: crashed procs park in a loop and must not
+	// allocate a fresh reason string per wakeup.
+	crashReason       string
+	coprocCrashReason string
 }
 
 // InstallCompute sets the handler for messages targeted at the compute
@@ -171,7 +178,7 @@ func (n *Node) startDispatchers() {
 			// still applies), or never on a permanent failure.
 			service, dead := n.M.outage(n.ID, service)
 			for dead {
-				p.Park(fmt.Sprintf("n%d crashed", n.ID))
+				p.Park(n.crashReason)
 			}
 			// The interrupt runs on the compute processor: it both
 			// occupies this service loop (serializing back-to-back
@@ -190,7 +197,7 @@ func (n *Node) startDispatchers() {
 			work, effect := n.coprocH(m)
 			service, dead := n.M.outage(n.ID, n.M.scale(n.ID, work))
 			for dead {
-				p.Park(fmt.Sprintf("n%d coproc crashed", n.ID))
+				p.Park(n.coprocCrashReason)
 			}
 			p.Sleep(service)
 			if effect != nil {
@@ -313,7 +320,7 @@ func (c *CPU) Use(p *sim.Proc, d sim.Time, cat stats.Category) {
 	d = c.node.M.scale(c.node.ID, d)
 	d, dead := c.node.M.outage(c.node.ID, d)
 	for dead {
-		p.Park(fmt.Sprintf("n%d crashed", c.node.ID))
+		p.Park(c.node.crashReason)
 	}
 	c.busy = true
 	p.Sleep(d)

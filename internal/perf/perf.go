@@ -1,0 +1,146 @@
+// Package perf holds the performance regression benchmarks for the
+// simulator's hot paths: event scheduling throughput, process context
+// switches, diff compute/apply, and small end-to-end application runs.
+//
+// The benchmark bodies are exported functions taking *testing.B so they
+// can run both under `go test -bench` (see perf_test.go) and
+// programmatically from cmd/svmperf, which records a BENCH_sim.json
+// trajectory entry per invocation.
+package perf
+
+import (
+	"testing"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/core"
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+)
+
+// EventThroughput measures the kernel's raw event dispatch rate with a
+// self-rescheduling callback: one push + one pop per iteration.
+func EventThroughput(b *testing.B) {
+	k := sim.NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ContextSwitch measures a full proc-to-proc handshake: Unpark, yield to
+// the scheduler, resume the peer — two goroutine switches per iteration.
+func ContextSwitch(b *testing.B) {
+	k := sim.NewKernel()
+	var pa, pb *sim.Proc
+	pa = k.Spawn("a", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			pb.Unpark()
+			p.Park("ping")
+		}
+	})
+	pb = k.Spawn("b", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Park("pong")
+			pa.Unpark()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// Sleep measures Proc.Sleep: one timer event plus one yield per iteration.
+func Sleep(b *testing.B) {
+	k := sim.NewKernel()
+	k.Spawn("sleeper", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// diffPage builds a page/twin pair with nMod modified words scattered in
+// small runs, the shape protocol diffs typically take.
+func diffPage(words, nMod int) (twin, cur []float64) {
+	twin = make([]float64, words)
+	cur = make([]float64, words)
+	for i := range twin {
+		twin[i] = float64(i)
+		cur[i] = float64(i)
+	}
+	step := words / nMod
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < words; i += step {
+		cur[i] = -float64(i) - 1
+	}
+	return twin, cur
+}
+
+// ComputeDiff measures pooled diff creation on an 8KB page with ~5% of
+// its words modified, releasing each diff so the backing recycles.
+func ComputeDiff(b *testing.B) {
+	const words = 1024 // 8KB page
+	twin, cur := diffPage(words, words/20)
+	pool := mem.NewPool(words)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := mem.ComputeDiffPooled(pool, 0, twin, cur)
+		d.Release(pool)
+	}
+}
+
+// ApplyDiff measures applying a precomputed diff to a page copy.
+func ApplyDiff(b *testing.B) {
+	const words = 1024
+	twin, cur := diffPage(words, words/20)
+	pool := mem.NewPool(words)
+	d := mem.ComputeDiffPooled(pool, 0, twin, cur)
+	dst := make([]float64, words)
+	copy(dst, twin)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(dst)
+	}
+}
+
+// endToEnd runs one full test-size simulation per iteration.
+func endToEnd(b *testing.B, app string, proto core.Protocol, procs int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := apps.New(app, apps.SizeTest)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{Protocol: proto, NumProcs: procs, PageBytes: 8192, GCThreshold: 8 << 20}
+		if _, err := core.Run(opts, a, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SORSmall is an end-to-end HLRC run of the test-size SOR kernel.
+func SORSmall(b *testing.B) { endToEnd(b, "sor", core.ProtoHLRC, 8) }
+
+// LUSmall is an end-to-end LRC run of the test-size LU kernel.
+func LUSmall(b *testing.B) { endToEnd(b, "lu", core.ProtoLRC, 8) }

@@ -1,0 +1,11 @@
+package perf
+
+import "testing"
+
+func BenchmarkEventThroughput(b *testing.B) { EventThroughput(b) }
+func BenchmarkContextSwitch(b *testing.B)   { ContextSwitch(b) }
+func BenchmarkSleep(b *testing.B)           { Sleep(b) }
+func BenchmarkComputeDiff(b *testing.B)     { ComputeDiff(b) }
+func BenchmarkApplyDiff(b *testing.B)       { ApplyDiff(b) }
+func BenchmarkSORSmall(b *testing.B)        { SORSmall(b) }
+func BenchmarkLUSmall(b *testing.B)         { LUSmall(b) }

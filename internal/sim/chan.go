@@ -5,14 +5,15 @@ package sim
 // received by procs, which block while the queue is empty. Multiple
 // receivers are served in the order they blocked.
 type Chan[T any] struct {
-	name    string
-	queue   []T
-	waiters []*Proc
+	name       string
+	recvReason string // "recv <name>", prebuilt so Recv never allocates
+	queue      []T
+	waiters    []*Proc
 }
 
 // NewChan returns an empty FIFO. The name appears in deadlock reports.
 func NewChan[T any](name string) *Chan[T] {
-	return &Chan[T]{name: name}
+	return &Chan[T]{name: name, recvReason: "recv " + name}
 }
 
 // Len reports the number of queued values.
@@ -33,7 +34,7 @@ func (c *Chan[T]) Push(v T) {
 func (c *Chan[T]) Recv(p *Proc) T {
 	for len(c.queue) == 0 {
 		c.waiters = append(c.waiters, p)
-		p.Park("recv " + c.name)
+		p.Park(c.recvReason)
 	}
 	v := c.queue[0]
 	var zero T

@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,37 +33,36 @@ func (t Time) String() string {
 // Micros reports t in microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// Event kinds. The common cases — resuming a proc after a sleep, and the
+// conditional resume behind Unpark — are encoded as a kind plus a *Proc
+// instead of a closure, so the hot scheduling paths allocate nothing.
+const (
+	evFn     uint8 = iota // run fn
+	evRun                 // resume proc
+	evUnpark              // resume proc if its Unpark permit is still set
+)
+
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	kind uint8
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, schedule order).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return
+	return e.seq < o.seq
 }
 
 // Kernel is a discrete-event scheduler. The zero value is not usable; call
 // NewKernel.
 type Kernel struct {
 	now    Time
-	events eventHeap
+	events []event // binary min-heap, value-based (no per-event boxing)
 	seq    uint64
 	procs  []*Proc
 	// current is the proc whose code is executing, nil when the kernel is
@@ -81,18 +79,71 @@ func NewKernel() *Kernel {
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
-// At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it is always a logic error in a DES.
-func (k *Kernel) At(t Time, fn func()) {
+// push inserts ev into the event heap (sift-up on value storage).
+func (k *Kernel) push(ev event) {
+	h := append(k.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.events = h
+}
+
+// pop removes and returns the earliest event.
+func (k *Kernel) pop() event {
+	h := k.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/proc references
+	h = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h[r].before(&h[l]) {
+			c = r
+		}
+		if !h[c].before(&h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	k.events = h
+	return top
+}
+
+// schedule enqueues an event at absolute time t. Scheduling in the past
+// panics: it is always a logic error in a DES.
+func (k *Kernel) schedule(t Time, kind uint8, fn func(), p *Proc) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.push(event{at: t, seq: k.seq, kind: kind, fn: fn, proc: p})
 }
+
+// At schedules fn to run at absolute time t.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, evFn, fn, nil) }
 
 // After schedules fn to run d from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// atRun schedules proc resumption at t without allocating a closure.
+func (k *Kernel) atRun(t Time, p *Proc) { k.schedule(t, evRun, nil, p) }
+
+// atUnpark schedules the permit-guarded resume behind Unpark.
+func (k *Kernel) atUnpark(t Time, p *Proc) { k.schedule(t, evUnpark, nil, p) }
 
 // Stop makes Run return after the current event completes. Pending events
 // are discarded.
@@ -115,14 +166,24 @@ func (e *DeadlockError) Error() string {
 // queue drains, and propagates any panic raised inside process code.
 func (k *Kernel) Run() error {
 	for len(k.events) > 0 && !k.stopped {
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.pop()
 		k.now = ev.at
-		ev.fn()
+		switch ev.kind {
+		case evFn:
+			ev.fn()
+		case evRun:
+			ev.proc.run()
+		case evUnpark:
+			if ev.proc.permit {
+				ev.proc.permit = false
+				ev.proc.run()
+			}
+		}
 	}
 	var blocked []string
 	for _, p := range k.procs {
 		if !p.done && p.started && !p.daemon {
-			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockedOn))
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockedDesc()))
 		}
 	}
 	if len(blocked) > 0 && !k.stopped {

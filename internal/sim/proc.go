@@ -9,6 +9,13 @@ import (
 // blocked processes.
 type procKilled struct{}
 
+// noArg marks a block reason with no numeric argument.
+const noArg int64 = -1 << 63
+
+// sleepReason is the reserved block kind for Sleep; its argument is the
+// duration and is rendered as "sleep(<duration>)" in deadlock reports.
+const sleepReason = "sleep"
+
 // Proc is a simulated process: a goroutine whose execution is interleaved
 // with other processes under kernel control. Exactly one proc (or event
 // callback) executes at a time, so proc code needs no locking and the
@@ -23,12 +30,17 @@ type Proc struct {
 	resume  chan struct{} // scheduler -> proc: run
 	yielded chan struct{} // proc -> scheduler: parked or done
 
-	started   bool
-	done      bool
-	daemon    bool
-	permit    bool // an Unpark arrived while the proc was runnable
-	poisoned  bool // Shutdown requested; unwind on next resume
-	blockedOn string
+	started  bool
+	done     bool
+	daemon   bool
+	permit   bool // an Unpark arrived while the proc was runnable
+	poisoned bool // Shutdown requested; unwind on next resume
+
+	// Block reasons are stored unformatted — a static kind string plus an
+	// optional numeric argument — and rendered only when a deadlock report
+	// is actually built, so blocking allocates nothing on the hot path.
+	blockedOn  string
+	blockedArg int64
 
 	panicked any // panic value from the proc body, re-raised by run
 }
@@ -37,10 +49,11 @@ type Proc struct {
 // used in deadlock reports.
 func (k *Kernel) Spawn(name string, at Time, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		k:       k,
-		name:    name,
-		resume:  make(chan struct{}),
-		yielded: make(chan struct{}),
+		k:          k,
+		name:       name,
+		resume:     make(chan struct{}),
+		yielded:    make(chan struct{}),
+		blockedArg: noArg,
 	}
 	k.procs = append(k.procs, p)
 	go func() {
@@ -60,7 +73,7 @@ func (k *Kernel) Spawn(name string, at Time, fn func(p *Proc)) *Proc {
 			fn(p)
 		}
 	}()
-	k.At(at, func() { p.run() })
+	k.atRun(at, p)
 	return p
 }
 
@@ -80,6 +93,18 @@ func (p *Proc) Done() bool { return p.done }
 // blocked when the simulation ends and is excluded from deadlock reports.
 func (p *Proc) SetDaemon() *Proc { p.daemon = true; return p }
 
+// blockedDesc formats the block reason for a deadlock report.
+func (p *Proc) blockedDesc() string {
+	switch {
+	case p.blockedArg == noArg:
+		return p.blockedOn
+	case p.blockedOn == sleepReason:
+		return fmt.Sprintf("sleep(%v)", Time(p.blockedArg))
+	default:
+		return fmt.Sprintf("%s %d", p.blockedOn, p.blockedArg)
+	}
+}
+
 // run transfers control to the proc until it yields. Called only from the
 // scheduler context (an event callback).
 func (p *Proc) run() {
@@ -98,15 +123,18 @@ func (p *Proc) run() {
 	}
 }
 
-// yield returns control to the scheduler and blocks until resumed.
-func (p *Proc) yield(reason string) {
+// yield returns control to the scheduler and blocks until resumed. The
+// (reason, arg) pair is stored unformatted; see blockedDesc.
+func (p *Proc) yield(reason string, arg int64) {
 	p.blockedOn = reason
+	p.blockedArg = arg
 	p.yielded <- struct{}{}
 	<-p.resume
 	if p.poisoned {
 		panic(procKilled{})
 	}
 	p.blockedOn = ""
+	p.blockedArg = noArg
 }
 
 // Sleep advances the proc's virtual time by d. Other events run meanwhile.
@@ -114,8 +142,8 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %d", d))
 	}
-	p.k.At(p.k.now+d, func() { p.run() })
-	p.yield(fmt.Sprintf("sleep(%v)", d))
+	p.k.atRun(p.k.now+d, p)
+	p.yield(sleepReason, int64(d))
 }
 
 // Park blocks the proc until another proc or event calls Unpark. If an
@@ -126,7 +154,19 @@ func (p *Proc) Park(reason string) {
 		p.permit = false
 		return
 	}
-	p.yield(reason)
+	p.yield(reason, noArg)
+}
+
+// ParkArg is Park with a numeric argument appended to the reason in
+// deadlock reports ("barrier 3"). Unlike formatting at the call site, the
+// argument is only rendered if a report is built, so hot blocking paths
+// stay allocation-free.
+func (p *Proc) ParkArg(reason string, arg int64) {
+	if p.permit {
+		p.permit = false
+		return
+	}
+	p.yield(reason, arg)
 }
 
 // Unpark makes p runnable at the current simulated time. If p is not
@@ -140,12 +180,7 @@ func (p *Proc) Unpark() {
 		return // already has a pending permit
 	}
 	p.permit = true
-	p.k.At(p.k.now, func() {
-		if p.permit {
-			p.permit = false
-			p.run()
-		}
-	})
+	p.k.atUnpark(p.k.now, p)
 }
 
 // Shutdown unwinds every live process so their goroutines exit. Call after
