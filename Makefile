@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check sweep-faults bench bench-json
+.PHONY: all build test race vet fmt check sweep-faults sweep-rto bench bench-json
 
 all: check
 
@@ -29,6 +29,11 @@ check: fmt vet build test
 # statistics. Crash cells run the home-based protocols with one replica.
 sweep-faults:
 	$(GO) run ./cmd/svmbench -faults lossy,hostile,crash -size small -json-dir out/faults
+
+# Fixed vs adaptive retransmission timeout on the link-granularity mesh,
+# per fault profile, with per-cell JSON statistics.
+sweep-rto:
+	$(GO) run ./cmd/svmbench -rto-ablation lossy,hostile -size small -procs 8,32 -json-dir out/rto
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -34,8 +34,9 @@ func main() {
 		procsFlag = flag.String("procs", "8,32,64", "machine sizes")
 		page      = flag.Int("page", 8192, "page size in bytes")
 		faults    = flag.String("faults", "", "comma-separated fault profiles to sweep (lossy, hostile, crash)")
-		seed      = flag.Int64("seed", 1, "seed for the -faults plans")
-		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics of the -faults sweep here")
+		rtoAbl    = flag.String("rto-ablation", "", "run the fixed-vs-adaptive RTO ablation on the mesh for these fault profiles (e.g. lossy,hostile)")
+		seed      = flag.Int64("seed", 1, "seed for the -faults and -rto-ablation plans")
+		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics of the -faults / -rto-ablation sweeps here")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
 	)
@@ -118,8 +119,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *rtoAbl != "" {
+		section()
+		var profiles []string
+		for _, s := range strings.Split(*rtoAbl, ",") {
+			profiles = append(profiles, strings.TrimSpace(s))
+		}
+		if err := r.RTOSweep(out, profiles, *seed, *jsonDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if !any {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -fig N, -sor0, -ablations, or -faults")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -fig N, -sor0, -ablations, -faults, or -rto-ablation")
 		os.Exit(2)
 	}
 }

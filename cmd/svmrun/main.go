@@ -30,6 +30,9 @@ func main() {
 		noSeq    = flag.Bool("noseq", false, "skip the sequential baseline run")
 		faults   = flag.String("faults", gosvm.FaultNone, "fault profile: none, lossy, hostile, crash")
 		seed     = flag.Int64("seed", 1, "seed for the fault plan (apps initialize deterministically), so runs reproduce by construction")
+		meshNet  = flag.Bool("mesh", false, "model the network as a 2-D wormhole mesh (XY routing, per-link contention) instead of a crossbar")
+		linkLvl  = flag.Bool("link-level", false, "render the fault profile at mesh-link granularity: loss and jitter roll per link crossing and correlate with XY routes (implies -mesh)")
+		adaptive = flag.Bool("adaptive-rto", false, "per-(src,dst)-edge Jacobson/Karels RTT estimation instead of the plan's fixed retransmission timeout")
 		replicas = flag.Int("replicas", 0, "home-state replicas per home (required to survive crashes; hlrc/ohlrc only)")
 		ckpt     = flag.Duration("ckpt", 0, "checkpoint period in simulated time (0 = eager mirroring; requires -replicas)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON statistics instead of text")
@@ -47,6 +50,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *linkLvl {
+		plan = plan.AtLinkLevel(*procs)
+	}
+	plan.AdaptiveRTO = *adaptive
 
 	mk := func() gosvm.App {
 		a, err := apps.New(*appName, apps.Size(*size))
@@ -57,14 +64,18 @@ func main() {
 		return a
 	}
 
-	opts := gosvm.NewOptions(proto,
+	optFns := []gosvm.Option{
 		gosvm.WithProcs(*procs),
 		gosvm.WithPageBytes(*page),
 		gosvm.WithGCThreshold(*gcThr),
 		gosvm.WithFaults(plan),
 		gosvm.WithReplication(*replicas),
 		gosvm.WithCheckpointEvery(gosvm.Time(ckpt.Nanoseconds())),
-	)
+	}
+	if *meshNet || *linkLvl {
+		optFns = append(optFns, gosvm.WithMesh())
+	}
+	opts := gosvm.NewOptions(proto, optFns...)
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -155,6 +166,9 @@ func main() {
 		fmt.Printf("\nfault injection (profile %s, seed %d; per-node average):\n", *faults, *seed)
 		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintf(tw, "  messages dropped\t%d\n", avg.Counts.MsgsDropped)
+		if avg.Counts.LinkDrops > 0 {
+			fmt.Fprintf(tw, "  eaten by mesh links\t%d\n", avg.Counts.LinkDrops)
+		}
 		fmt.Fprintf(tw, "  retransmissions\t%d\n", avg.Counts.Retries)
 		fmt.Fprintf(tw, "  duplicates suppressed\t%d\n", avg.Counts.DupsSuppressed)
 		fmt.Fprintf(tw, "  recovery time\t%.2f ms\n", avg.Recovery.Micros()/1e3)

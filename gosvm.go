@@ -108,6 +108,9 @@ type (
 	// FaultSlowdown is a per-node compute slowdown window
 	// (FaultPlan.Slowdowns).
 	FaultSlowdown = fault.Slowdown
+	// LinkFail is a scheduled transient outage of one directional mesh
+	// link (FaultPlan.LinkFails); it implies the mesh network model.
+	LinkFail = fault.LinkFail
 	// Crash schedules one node outage: the node stops servicing messages
 	// and freezes computation at At, restarting at RestartAt (zero =
 	// never). See FaultPlan.Crashes and Options.Recovery.
@@ -181,6 +184,12 @@ func WithGCThreshold(bytes int64) Option {
 // WithFaults installs a deterministic fault plan (message loss,
 // duplication, delay, node slowdowns, crashes).
 func WithFaults(p FaultPlan) Option { return func(o *Options) { o.Fault = p } }
+
+// WithMesh models the Paragon's 2-D wormhole mesh at link granularity
+// (XY routing, per-hop latency, per-link occupancy) instead of the
+// default crossbar. Plans with link-level faults (FaultPlan.LinkDrop,
+// LinkJitter, LinkFails) enable the mesh automatically.
+func WithMesh() Option { return func(o *Options) { o.Mesh = true } }
 
 // WithReplication mirrors each home's page state onto its k successor
 // nodes so a crashed home's pages can be re-homed (home-based protocols

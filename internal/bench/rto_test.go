@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gosvm/internal/apps"
+)
+
+// rtoTotals parses the per-mode totals row of one RTOSweep table:
+// (retries, dups, recovery-ms) for the fixed arm then the adaptive arm.
+func rtoTotals(t *testing.T, table string) (fixed, adaptive [3]float64) {
+	t.Helper()
+	for _, line := range strings.Split(table, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 7 || f[0] != "total" {
+			continue
+		}
+		for i := 0; i < 6; i++ {
+			v, err := strconv.ParseFloat(f[1+i], 64)
+			if err != nil {
+				t.Fatalf("bad totals field %q in %q: %v", f[1+i], line, err)
+			}
+			if i < 3 {
+				fixed[i] = v
+			} else {
+				adaptive[i-3] = v
+			}
+		}
+		return fixed, adaptive
+	}
+	t.Fatalf("no totals row in table:\n%s", table)
+	return
+}
+
+// TestRTOSweepDeterminism renders the ablation sequentially and with 8
+// workers: byte-identical output, like every other sweep.
+func TestRTOSweepDeterminism(t *testing.T) {
+	run := func(parallel int) string {
+		r := NewRunner(apps.SizeTest)
+		r.Procs = []int{4}
+		r.Parallel = parallel
+		var buf bytes.Buffer
+		if err := r.RTOSweep(&buf, []string{"lossy"}, 1, ""); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	s1, s8 := run(1), run(8)
+	if s1 != s8 {
+		t.Errorf("rto ablation differs between -parallel 1 and -parallel 8:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", s1, s8)
+	}
+	for _, want := range []string{"Adaptive-RTO ablation", "fixed:retries", "adaptive:retries", "total"} {
+		if !strings.Contains(s1, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, s1)
+		}
+	}
+}
+
+// TestRTOSweepRejectsCrashProfiles: a crash plan has no fixed-vs-adaptive
+// story (recovery is re-homing, not retransmission), so the ablation
+// refuses it instead of producing a meaningless table.
+func TestRTOSweepRejectsCrashProfiles(t *testing.T) {
+	r := NewRunner(apps.SizeTest)
+	r.Procs = []int{4}
+	var buf bytes.Buffer
+	if err := r.RTOSweep(&buf, []string{"crash"}, 1, ""); err == nil {
+		t.Fatal("crash profile accepted")
+	}
+}
+
+// TestRTOAblationCriterion is the acceptance gate for the adaptive
+// estimator: under the hostile profile at link level, per-edge RTT
+// estimation must suppress fewer duplicates (fewer spurious
+// retransmissions into congested routes) while recovering no slower
+// than the fixed 2ms timeout, in aggregate across apps, machine sizes,
+// and protocols.
+func TestRTOAblationCriterion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full hostile ablation is slow")
+	}
+	r := NewRunner(apps.SizeTest)
+	r.Procs = []int{8, 32}
+	var buf bytes.Buffer
+	if err := r.RTOSweep(&buf, []string{"hostile"}, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	fixed, adaptive := rtoTotals(t, buf.String())
+	if fixed[0] == 0 || fixed[1] == 0 {
+		t.Fatalf("fixed arm saw no faults (retries %v, dups %v): nothing to ablate", fixed[0], fixed[1])
+	}
+	if adaptive[1] >= fixed[1] {
+		t.Errorf("adaptive dups %v not below fixed %v", adaptive[1], fixed[1])
+	}
+	if adaptive[2] > fixed[2] {
+		t.Errorf("adaptive recovery %vms worse than fixed %vms", adaptive[2], fixed[2])
+	}
+}

@@ -217,6 +217,75 @@ func TestDroppedReplyWithRetryRecovers(t *testing.T) {
 	}
 }
 
+// Link-level faults: the hostile profile rendered at mesh-link
+// granularity (loss and jitter correlated with XY routes) plus transient
+// link-failure windows across the early protocol traffic. Every protocol
+// must still compute exact results, the mesh model must be engaged
+// implicitly (LinkDrops counted), and the transport must have recovered
+// route-correlated loss.
+func TestLinkLevelFaultsAllProtocols(t *testing.T) {
+	base, err := fault.Profile(fault.ProfileHostile, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachProto(t, []int{4}, func(t *testing.T, proto Protocol, p int) {
+		plan := base.AtLinkLevel(p)
+		plan.Slowdowns = nil
+		plan.LinkFails = []fault.LinkFail{
+			{From: 0, To: 1, Start: 0, End: 2 * sim.Millisecond},
+			{From: 1, To: 0, Start: sim.Millisecond, End: 3 * sim.Millisecond},
+		}
+		o := testOpts(proto, p)
+		o.Fault = plan
+		const n = 6
+		res := runOrFail(t, o, counterApp(n))
+		if want := float64(p * n); res.Data[0] != want {
+			t.Fatalf("counter = %v, want %v", res.Data[0], want)
+		}
+		var linkDrops, retries int64
+		for _, nd := range res.Stats.Nodes {
+			linkDrops += nd.Counts.LinkDrops
+			retries += nd.Counts.Retries
+		}
+		if linkDrops == 0 {
+			t.Fatal("no copies eaten at links: the plan never reached the mesh model")
+		}
+		if retries == 0 {
+			t.Fatal("link-level loss recovered without a single retransmission")
+		}
+
+		res = runOrFail(t, o, multiWriterApp())
+		for i, v := range res.Data {
+			if want := float64(100*(i%p) + i); v != want {
+				t.Fatalf("multiwriter word %d = %v, want %v", i, v, want)
+			}
+		}
+	})
+}
+
+// The link-level run is still a deterministic function of (plan, seed),
+// adaptive RTO included.
+func TestLinkLevelFaultDeterminism(t *testing.T) {
+	base, err := fault.Profile(fault.ProfileHostile, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := base.AtLinkLevel(4)
+	plan.AdaptiveRTO = true
+	o := testOpts(ProtoHLRC, 4)
+	o.Fault = plan
+	r1 := runOrFail(t, o, counterApp(6))
+	r2 := runOrFail(t, o, counterApp(6))
+	if r1.Stats.Elapsed != r2.Stats.Elapsed {
+		t.Fatalf("elapsed differs: %v vs %v", r1.Stats.Elapsed, r2.Stats.Elapsed)
+	}
+	for i := range r1.Stats.Nodes {
+		if *r1.Stats.Nodes[i] != *r2.Stats.Nodes[i] {
+			t.Fatalf("node %d stats differ:\n%+v\n%+v", i, r1.Stats.Nodes[i], r2.Stats.Nodes[i])
+		}
+	}
+}
+
 // Severing every copy of one edge's requests while retries are on: the
 // transport gives up after MaxAttempts and the watchdog reports it.
 func TestRetryGiveUpDiagnosed(t *testing.T) {

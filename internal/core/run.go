@@ -128,7 +128,9 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 
 	k := sim.NewKernel()
 	machine := paragon.New(k, opts.NumProcs, opts.Costs)
-	if opts.Mesh {
+	if opts.Mesh || opts.Fault.LinkLevel() {
+		// Link-level faults are defined on mesh links, so they imply the
+		// link-granularity network model.
 		machine.EnableMesh(0)
 	}
 	var inj *fault.Injector

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"gosvm/internal/sim"
+)
+
+func TestMeanHops(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 1},        // degenerate: transform is the identity
+		{2, 0.5},      // 1x2
+		{4, 1.0},      // 2x2: 0.5 per dimension
+		{16, 2.5},     // 4x4: (16-1)/12 = 1.25 per dimension
+		{7, 16.0 / 7}, // prime: 1x7, (49-1)/21
+	}
+	for _, c := range cases {
+		if got := meanHops(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("meanHops(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+// AtLinkLevel must preserve the fault intensity an average-length route
+// experiences: composing the per-crossing probability back over the mean
+// hop count recovers the original per-message probability.
+func TestAtLinkLevelPreservesIntensity(t *testing.T) {
+	base := Plan{
+		Seed:      9,
+		Drop:      0.10,
+		Duplicate: 0.08,
+		Delay:     0.15,
+		MaxDelay:  2 * sim.Millisecond,
+		Reorder:   0.20,
+	}
+	for _, nodes := range []int{4, 16, 64} {
+		p := base.AtLinkLevel(nodes)
+		if p.Drop != 0 || p.Delay != 0 {
+			t.Fatalf("n=%d: message-level drop/delay not cleared: %+v", nodes, p)
+		}
+		if !p.LinkLevel() {
+			t.Fatalf("n=%d: transformed plan is not link-level", nodes)
+		}
+		if p.Duplicate != base.Duplicate || p.Reorder != base.Reorder {
+			t.Fatalf("n=%d: duplicate/reorder must stay message-level", nodes)
+		}
+		if p.LinkJitterMax != base.MaxDelay {
+			t.Fatalf("n=%d: jitter magnitude %v, want MaxDelay %v", nodes, p.LinkJitterMax, base.MaxDelay)
+		}
+		h := meanHops(nodes)
+		if got := 1 - math.Pow(1-p.LinkDrop, h); math.Abs(got-base.Drop) > 1e-12 {
+			t.Errorf("n=%d: composed drop over mean route = %v, want %v", nodes, got, base.Drop)
+		}
+		if got := 1 - math.Pow(1-p.LinkJitter, h); math.Abs(got-base.Delay) > 1e-12 {
+			t.Errorf("n=%d: composed jitter over mean route = %v, want %v", nodes, got, base.Delay)
+		}
+	}
+	// Longer mean routes need a smaller per-crossing probability.
+	if p16, p64 := base.AtLinkLevel(16), base.AtLinkLevel(64); p64.LinkDrop >= p16.LinkDrop {
+		t.Errorf("per-crossing drop should shrink with grid size: n16 %v, n64 %v", p16.LinkDrop, p64.LinkDrop)
+	}
+	// A zero plan stays zero.
+	if p := (Plan{}).AtLinkLevel(16); p.LinkLevel() {
+		t.Errorf("zero plan became link-level: %+v", p)
+	}
+}
+
+func TestLinkFailCovers(t *testing.T) {
+	lf := LinkFail{From: 1, To: 2, Start: 10, End: 20}
+	for _, c := range []struct {
+		t    sim.Time
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if lf.Covers(c.t) != c.want {
+			t.Errorf("Covers(%d) = %v, want %v", c.t, !c.want, c.want)
+		}
+	}
+}
+
+func TestJudgeLinkFailureWindows(t *testing.T) {
+	in := NewInjector(Plan{LinkFails: []LinkFail{
+		{From: 1, To: 2, Start: 10, End: 20},
+	}})
+	cases := []struct {
+		from, to int
+		t        sim.Time
+		drop     bool
+	}{
+		{1, 2, 9, false},  // before the window
+		{1, 2, 10, true},  // window start is inclusive
+		{1, 2, 19, true},  // inside
+		{1, 2, 20, false}, // window end is exclusive
+		{2, 1, 15, false}, // reverse direction fails independently
+		{0, 1, 15, false}, // other links untouched
+	}
+	for i, c := range cases {
+		drop, jitter := in.JudgeLink(c.from, c.to, c.t)
+		if drop != c.drop {
+			t.Errorf("case %d: drop = %v, want %v", i, drop, c.drop)
+		}
+		if jitter != 0 {
+			t.Errorf("case %d: window-only plan produced jitter %v", i, jitter)
+		}
+	}
+}
+
+// Window-only link judging must consume no randomness: the message-level
+// verdict stream is byte-identical whether or not JudgeLink ran, so
+// adding a failure window to a plan cannot reshuffle its other faults.
+func TestJudgeLinkWindowsConsumeNoRandomness(t *testing.T) {
+	plan := Plan{
+		Seed:      5,
+		Drop:      0.5,
+		LinkFails: []LinkFail{{From: 0, To: 1, Start: 0, End: 100}},
+	}
+	a, b := NewInjector(plan), NewInjector(plan)
+	for i := 0; i < 200; i++ {
+		a.JudgeLink(0, 1, sim.Time(i))
+	}
+	for i := 0; i < 50; i++ {
+		va, vb := a.Judge(0, 1, 3, false), b.Judge(0, 1, 3, false)
+		if va != vb {
+			t.Fatalf("verdict %d differs after window-only JudgeLink calls: %+v vs %+v", i, va, vb)
+		}
+	}
+}
+
+// Probabilistic link verdicts are deterministic per (plan, seed) and
+// actually fire at the configured rates.
+func TestJudgeLinkProbabilisticDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, LinkDrop: 0.3, LinkJitter: 0.4, LinkJitterMax: 100 * sim.Microsecond}
+	a, b := NewInjector(plan), NewInjector(plan)
+	var drops, jitters int
+	for i := 0; i < 2000; i++ {
+		da, ja := a.JudgeLink(0, 1, sim.Time(i))
+		db, jb := b.JudgeLink(0, 1, sim.Time(i))
+		if da != db || ja != jb {
+			t.Fatalf("crossing %d: verdicts diverged", i)
+		}
+		if da {
+			drops++
+		}
+		if ja > 0 {
+			jitters++
+			if ja >= plan.LinkJitterMax {
+				t.Fatalf("jitter %v outside U(0, %v)", ja, plan.LinkJitterMax)
+			}
+		}
+	}
+	if drops < 400 || drops > 800 {
+		t.Errorf("drop rate %d/2000, want around 600", drops)
+	}
+	if jitters < 500 || jitters > 1100 {
+		t.Errorf("jitter rate %d/2000, want around 800", jitters)
+	}
+}

@@ -86,6 +86,9 @@ func (m *Machine) EnableFaults(inj *fault.Injector) {
 	if p := inj.Plan(); p.Messaging() {
 		m.faults = newFaultLayer(m, inj)
 	}
+	if m.mesh != nil {
+		m.mesh.installJudge(inj)
+	}
 	for _, c := range inj.Crashes() {
 		c := c
 		m.K.At(c.At, func() {
@@ -210,26 +213,30 @@ func (n *Node) startDispatchers() {
 // arrivalTime computes when a payload of size bytes sent now arrives at
 // node to. When ordered, the per-(src,dst) FIFO clamp is applied and
 // recorded; unordered copies (fault-delayed or duplicate transmissions)
-// may overtake earlier traffic on the same wire.
-func (n *Node) arrivalTime(to, size int, ordered bool) sim.Time {
-	var at sim.Time
+// may overtake earlier traffic on the same wire. Under the link-level
+// fault model a mesh link may eat the message: ok is false, nothing
+// arrives, and the FIFO clamp is left untouched.
+func (n *Node) arrivalTime(to, size int, ordered bool) (at sim.Time, ok bool) {
 	if ms := n.M.mesh; ms != nil && n.ID != to {
 		// Software latency covers injection; the mesh model adds hop
 		// delay and link contention for the payload.
 		bw := n.M.Costs.BandwidthMBs * 1e6
 		tx := sim.Time(float64(size+n.M.Costs.MsgHeader) / bw * float64(sim.Second))
-		at = ms.deliver(n.M.K.Now()+n.M.Costs.MsgLatency, n.ID, to, tx)
+		at, ok = ms.deliver(n.M.K.Now()+n.M.Costs.MsgLatency, n.ID, to, tx)
+		if !ok {
+			return 0, false
+		}
 	} else {
 		at = n.M.K.Now() + n.M.Costs.Wire(size)
 	}
 	if !ordered {
-		return at
+		return at, true
 	}
 	if prev := n.M.lastArrival[n.ID][to]; at <= prev {
 		at = prev + 1
 	}
 	n.M.lastArrival[n.ID][to] = at
-	return at
+	return at, true
 }
 
 // enqueue hands a delivered message to the targeted dispatcher queue.
@@ -253,7 +260,10 @@ func (n *Node) Send(to int, msg Msg) {
 	}
 	n.Stats.Sent(msg.Class, msg.Size+n.M.Costs.MsgHeader)
 	dst := n.M.Nodes[to]
-	at := n.arrivalTime(to, msg.Size, true)
+	// Link-level drops only exist with a fault plan, which routes all
+	// inter-node traffic through the fault layer above — this arrival is
+	// always ok.
+	at, _ := n.arrivalTime(to, msg.Size, true)
 	n.M.K.At(at, func() { dst.enqueue(msg) })
 }
 
@@ -268,21 +278,23 @@ func (n *Node) Call(p *sim.Proc, to int, msg Msg) Msg {
 }
 
 // Respond sends resp as the answer to req. It may be called from handler
-// effects or proc code on the node that received req.
+// effects or proc code on the node that received req. Replies cross the
+// same modeled network as requests — hop latency, link contention, and
+// the per-(src,dst) FIFO order all apply on the way back.
 func (n *Node) Respond(req Msg, resp Msg) {
 	if req.Reply == nil {
 		panic("paragon: Respond to a message with no reply port")
 	}
 	resp.From = n.ID
-	if fl := n.M.faults; fl != nil {
-		if to := req.Reply.dest(req.From); to != n.ID {
-			fl.respond(n, to, req.Reply, resp)
-			return
-		}
+	to := req.Reply.dest(req.From)
+	if fl := n.M.faults; fl != nil && to != n.ID {
+		fl.respond(n, to, req.Reply, resp)
+		return
 	}
 	n.Stats.Sent(resp.Class, resp.Size+n.M.Costs.MsgHeader)
 	reply := req.Reply
-	n.M.K.After(n.M.Costs.Wire(resp.Size), func() { reply.ch.Push(resp) })
+	at, _ := n.arrivalTime(to, resp.Size, true)
+	n.M.K.At(at, func() { reply.ch.Push(resp) })
 }
 
 // PostCoproc posts a request from the compute processor to the local

@@ -29,17 +29,52 @@ type faultLayer struct {
 
 	reliable     bool
 	rto          sim.Time
+	rtoMax       sim.Time
 	backoff      float64
 	maxAttempts  int
 	suspectAfter int
 
+	// adaptive switches the initial retransmission timeout from the
+	// plan's fixed RTO to a per-(src,dst)-edge Jacobson/Karels estimate
+	// (see rtoFor); rtt is the estimator state, indexed [src][dst].
+	adaptive bool
+	rtt      [][]edgeRTT
+
 	nextID  uint64
 	pending map[uint64]*netMsg
 	// seen holds, per destination node, the ids already delivered there.
+	// Entries are retired as soon as no copy of the id can still be in
+	// flight (see maybeRetire), so the maps stay bounded by the number
+	// of concurrently outstanding messages, not by run length.
 	seen []map[uint64]struct{}
 	// suspected marks nodes already reported dead to OnSuspect, cleared
 	// when the node rejoins.
 	suspected []bool
+}
+
+// edgeRTT is one edge's RTT estimator (Jacobson/Karels, on the
+// simulated clock): smoothed RTT with gain 1/8, mean deviation with
+// gain 1/4.
+type edgeRTT struct {
+	srtt, rttvar sim.Time
+	samples      int
+}
+
+// observe folds one round-trip sample in. Only unambiguous samples are
+// offered (Karn's rule, see ackArrived).
+func (e *edgeRTT) observe(rtt sim.Time) {
+	if e.samples == 0 {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+	} else {
+		dev := e.srtt - rtt
+		if dev < 0 {
+			dev = -dev
+		}
+		e.rttvar += (dev - e.rttvar) / 4
+		e.srtt += (rtt - e.srtt) / 8
+	}
+	e.samples++
 }
 
 // netMsg is one logical message in flight: the transport retransmits the
@@ -54,6 +89,11 @@ type netMsg struct {
 	firstSent sim.Time
 	acked     bool
 	lost      bool
+	// inflight counts copies on the wire (scheduled arrivals not yet
+	// processed). Once the sender is done with the id (acked or lost)
+	// and inflight hits zero, no copy can ever arrive again and the
+	// receiver's dedup entry is retired.
+	inflight int
 
 	// msg is the original payload of a non-reply message, kept so the
 	// recovery layer can recall and re-address it when its destination
@@ -73,9 +113,11 @@ func newFaultLayer(m *Machine, inj *fault.Injector) *faultLayer {
 		inj:          inj,
 		reliable:     inj.Reliable(),
 		rto:          p.RTO,
+		rtoMax:       p.RTOMax,
 		backoff:      p.Backoff,
 		maxAttempts:  p.MaxAttempts,
 		suspectAfter: p.SuspectAfter,
+		adaptive:     p.AdaptiveRTO,
 		pending:      make(map[uint64]*netMsg),
 		seen:         make([]map[uint64]struct{}, len(m.Nodes)),
 		suspected:    make([]bool, len(m.Nodes)),
@@ -83,7 +125,35 @@ func newFaultLayer(m *Machine, inj *fault.Injector) *faultLayer {
 	for i := range fl.seen {
 		fl.seen[i] = make(map[uint64]struct{})
 	}
+	if fl.adaptive {
+		fl.rtt = make([][]edgeRTT, len(m.Nodes))
+		for i := range fl.rtt {
+			fl.rtt[i] = make([]edgeRTT, len(m.Nodes))
+		}
+	}
 	return fl
+}
+
+// rtoFor returns the first retransmission wait for a message on the
+// (src,dst) edge. With AdaptiveRTO the edge's srtt + 2*rttvar estimate
+// raises the timeout above the plan's fixed RTO once the edge has a
+// sample; it never lowers it. The fixed RTO thus plays the role of
+// TCP's minimum RTO: it guards against spurious retransmission on the
+// fault plan's injected delay tail (which is i.i.d. per message, so no
+// per-edge estimate can dodge it), while the estimate adapts to what
+// does differ per edge — route length and link congestion. Every wait,
+// first or backed-off, is capped at RTOMax.
+func (fl *faultLayer) rtoFor(src, dst int) sim.Time {
+	rto := fl.rto
+	if fl.adaptive {
+		if e := &fl.rtt[src][dst]; e.samples > 0 && e.srtt+2*e.rttvar > rto {
+			rto = e.srtt + 2*e.rttvar
+		}
+	}
+	if rto > fl.rtoMax {
+		rto = fl.rtoMax
+	}
+	return rto
 }
 
 // send routes a one-way or request message through the faulty network.
@@ -100,26 +170,14 @@ func (fl *faultLayer) send(n *Node, to int, msg Msg) {
 	}
 	dst := fl.m.Nodes[to]
 	nm.deliver = func() { dst.enqueue(msg) }
-	nm.transmit = func(v fault.Verdict) {
-		n.Stats.Sent(msg.Class, msg.Size+fl.m.Costs.MsgHeader)
-		if v.Drop {
-			fl.dropped(nm)
-			return
-		}
-		// A delayed primary copy leaves the FIFO order, as do duplicates:
-		// both model packets straggling through the mesh.
-		at := n.arrivalTime(to, msg.Size, v.Delay == 0) + v.Delay
-		fl.m.K.At(at, func() { fl.arrive(nm) })
-		if v.Duplicate {
-			at2 := n.arrivalTime(to, msg.Size, false)
-			fl.m.K.At(at2, func() { fl.arrive(nm) })
-		}
-	}
+	nm.transmit = func(v fault.Verdict) { fl.putOnWire(n, nm, msg.Size, v) }
 	fl.launch(nm)
 }
 
 // respond routes a reply through the faulty network to node to, the
-// original requester (whose proc polls reply.ch).
+// original requester (whose proc polls reply.ch). Replies cross the
+// same modeled network as requests: hop latency, link contention,
+// link-level faults, and the per-(src,dst) FIFO order all apply.
 func (fl *faultLayer) respond(n *Node, to int, reply *Reply, resp Msg) {
 	fl.nextID++
 	nm := &netMsg{
@@ -132,19 +190,37 @@ func (fl *faultLayer) respond(n *Node, to int, reply *Reply, resp Msg) {
 		firstSent: fl.m.K.Now(),
 	}
 	nm.deliver = func() { reply.ch.Push(resp) }
-	nm.transmit = func(v fault.Verdict) {
-		n.Stats.Sent(resp.Class, resp.Size+fl.m.Costs.MsgHeader)
-		if v.Drop {
-			fl.dropped(nm)
+	nm.transmit = func(v fault.Verdict) { fl.putOnWire(n, nm, resp.Size, v) }
+	fl.launch(nm)
+}
+
+// putOnWire transmits one (possibly faulty) copy of nm from n: the
+// injector's message-level verdict first, then the network model
+// (crossbar or mesh, where a link-level fault may still eat the copy).
+func (fl *faultLayer) putOnWire(n *Node, nm *netMsg, size int, v fault.Verdict) {
+	n.Stats.Sent(nm.class, size+fl.m.Costs.MsgHeader)
+	if v.Drop {
+		fl.dropped(nm)
+		return
+	}
+	// A delayed primary copy leaves the FIFO order, as do duplicates:
+	// both model packets straggling through the mesh.
+	at, ok := n.arrivalTime(nm.dst, size, v.Delay == 0)
+	if !ok {
+		fl.linkDropped(nm)
+	} else {
+		nm.inflight++
+		fl.m.K.At(at+v.Delay, func() { fl.arrive(nm) })
+	}
+	if v.Duplicate {
+		at2, ok := n.arrivalTime(nm.dst, size, false)
+		if !ok {
+			fl.linkDropped(nm)
 			return
 		}
-		wire := fl.m.Costs.Wire(resp.Size)
-		fl.m.K.After(wire+v.Delay, func() { fl.arrive(nm) })
-		if v.Duplicate {
-			fl.m.K.After(wire, func() { fl.arrive(nm) })
-		}
+		nm.inflight++
+		fl.m.K.At(at2, func() { fl.arrive(nm) })
 	}
-	fl.launch(nm)
 }
 
 // launch puts the first copy on the wire and, when the reliability layer
@@ -154,7 +230,24 @@ func (fl *faultLayer) launch(nm *netMsg) {
 	nm.transmit(fl.inj.Judge(nm.src, nm.dst, nm.kind, nm.reply))
 	if fl.reliable {
 		fl.pending[nm.id] = nm
-		fl.scheduleRetry(nm, fl.rto)
+		fl.scheduleRetry(nm, fl.rtoFor(nm.src, nm.dst))
+	}
+}
+
+// linkDropped accounts a copy a mesh link ate mid-route.
+func (fl *faultLayer) linkDropped(nm *netMsg) {
+	fl.m.Nodes[nm.src].Stats.Counts.LinkDrops++
+	fl.dropped(nm)
+}
+
+// maybeRetire drops the receiver's dedup entry for nm once no copy can
+// ever arrive again: the sender is done with the id (acked or given up,
+// so no retransmission will mint new copies) and every copy already on
+// the wire has been processed. This keeps the seen maps bounded by the
+// number of concurrently outstanding messages.
+func (fl *faultLayer) maybeRetire(nm *netMsg) {
+	if (nm.acked || nm.lost) && nm.inflight == 0 {
+		delete(fl.seen[nm.dst], nm.id)
 	}
 }
 
@@ -178,11 +271,13 @@ func (fl *faultLayer) dropped(nm *netMsg) {
 // layer the id is deduped (replays and injected duplicates deliver
 // exactly once) and every copy is acknowledged.
 func (fl *faultLayer) arrive(nm *netMsg) {
+	nm.inflight--
 	if fl.m.Down(nm.dst) {
 		// The destination is crashed: the copy falls on the floor — no
 		// delivery, no ack. The retransmission chain keeps trying and
 		// succeeds after the restart (or raises suspicion).
 		fl.dropped(nm)
+		fl.maybeRetire(nm)
 		return
 	}
 	if !fl.reliable {
@@ -192,11 +287,13 @@ func (fl *faultLayer) arrive(nm *netMsg) {
 	if _, dup := fl.seen[nm.dst][nm.id]; dup {
 		fl.m.Nodes[nm.dst].Stats.Counts.DupsSuppressed++
 		fl.sendAck(nm)
+		fl.maybeRetire(nm)
 		return
 	}
 	fl.seen[nm.dst][nm.id] = struct{}{}
 	fl.sendAck(nm)
 	nm.deliver()
+	fl.maybeRetire(nm)
 }
 
 // sendAck returns a tiny acknowledgement to the sender. Acks themselves
@@ -217,11 +314,18 @@ func (fl *faultLayer) ackArrived(nm *netMsg) {
 	}
 	nm.acked = true
 	delete(fl.pending, nm.id)
+	if fl.adaptive && nm.attempts == 1 {
+		// Karn's rule: an ack for a retransmitted message is ambiguous
+		// (it may answer any copy), so only first-attempt round trips
+		// feed the estimator.
+		fl.rtt[nm.src][nm.dst].observe(fl.m.K.Now() - nm.firstSent)
+	}
 	if nm.attempts > 1 {
 		// Recovery time: how long the loss stalled this message beyond a
 		// clean first-attempt round trip.
 		fl.m.Nodes[nm.src].Stats.Recovery += fl.m.K.Now() - nm.firstSent
 	}
+	fl.maybeRetire(nm)
 }
 
 // scheduleRetry arms one retransmission timer. At most one timer per
@@ -244,6 +348,7 @@ func (fl *faultLayer) scheduleRetry(nm *netMsg, wait sim.Time) {
 				Attempts: nm.attempts,
 				GaveUp:   true,
 			})
+			fl.maybeRetire(nm)
 			return
 		}
 		nm.attempts++
@@ -262,7 +367,11 @@ func (fl *faultLayer) scheduleRetry(nm *netMsg, wait sim.Time) {
 			return
 		}
 		nm.transmit(fl.inj.Judge(nm.src, nm.dst, nm.kind, nm.reply))
-		fl.scheduleRetry(nm, sim.Time(float64(wait)*fl.backoff))
+		next := sim.Time(float64(wait) * fl.backoff)
+		if next > fl.rtoMax {
+			next = fl.rtoMax
+		}
+		fl.scheduleRetry(nm, next)
 	})
 }
 
@@ -286,6 +395,7 @@ func (fl *faultLayer) recall(dead int, match func(Msg) bool) []Msg {
 	for _, nm := range picked {
 		nm.lost = true
 		delete(fl.pending, nm.id)
+		fl.maybeRetire(nm)
 		out = append(out, nm.msg)
 	}
 	return out

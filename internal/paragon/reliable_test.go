@@ -1,0 +1,237 @@
+package paragon
+
+import (
+	"testing"
+
+	"gosvm/internal/fault"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// inertMessagingPlan returns a plan that activates the reliability
+// transport (Messaging() is true) but never perturbs anything: its only
+// entry is a target that matches no real message kind.
+func inertMessagingPlan() fault.Plan {
+	return fault.Plan{
+		Seed:    1,
+		Targets: []fault.Target{{Kind: 99, From: 0, To: 0, Nth: 1}},
+	}
+}
+
+// meshTx is the wire occupancy of a payload on one mesh link, matching
+// arrivalTime's computation.
+func meshTx(c Costs, size int) sim.Time {
+	bw := c.BandwidthMBs * 1e6
+	return sim.Time(float64(size+c.MsgHeader) / bw * float64(sim.Second))
+}
+
+// measureReqReply runs one 4-byte request/4-byte reply RPC across the
+// full mesh diagonal (node 0 -> 15 on a 4x4 grid) and returns the two
+// one-way times.
+func measureReqReply(t *testing.T, withTransport bool) (req, rep sim.Time) {
+	t.Helper()
+	k := sim.NewKernel()
+	m := New(k, 16, testCosts())
+	m.EnableMesh(0)
+	if withTransport {
+		m.EnableFaults(fault.NewInjector(inertMessagingPlan()))
+	}
+	var reqArrive, repArrive sim.Time
+	m.Nodes[15].InstallCoproc(func(msg Msg) (sim.Time, func()) {
+		return 0, func() {
+			reqArrive = k.Now()
+			m.Nodes[15].Respond(msg, Msg{Kind: 2, Size: 4, Class: stats.ClassProtocol})
+		}
+	})
+	k.Spawn("app0", 0, func(p *sim.Proc) {
+		m.Nodes[0].CPU.Bind(p)
+		m.Nodes[0].Call(p, 15, Msg{Kind: 1, Size: 4, Class: stats.ClassProtocol, Target: ToCoproc})
+		repArrive = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	return reqArrive, repArrive - reqArrive
+}
+
+// The headline regression test: a reply must cross the same modeled
+// network as the request. On an idle mesh the 0->15 request and the
+// 15->0 reply travel symmetric 6-hop routes with equal payloads, so
+// their one-way times must be identical — before the fix the reply
+// bypassed the mesh (flat crossbar wire time) and arrived too early.
+func TestMeshReplySymmetry(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		transport bool
+	}{
+		{"plain", false},
+		{"fault-transport", true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			req, rep := measureReqReply(t, tc.transport)
+			if req != rep {
+				t.Fatalf("one-way times asymmetric: request %v, reply %v", req, rep)
+			}
+			c := testCosts()
+			want := c.MsgLatency + 6*DefaultHopLatency + meshTx(c, 4)
+			if req != want {
+				t.Fatalf("one-way time = %v, want %v (latency + 6 hops + tx)", req, want)
+			}
+		})
+	}
+}
+
+// Retransmission waits are capped at RTOMax, so recovery latency after a
+// long outage is bounded: the sender re-probes at least every RTOMax and
+// delivery lands within one cap of the restart. Uncapped exponential
+// backoff would have pushed the next probe tens of milliseconds past it.
+func TestRetryBackoffCappedAtRTOMax(t *testing.T) {
+	const restart = 100 * sim.Millisecond
+	const rtoMax = 8 * sim.Millisecond
+	k := sim.NewKernel()
+	m := New(k, 2, testCosts())
+	m.EnableFaults(fault.NewInjector(fault.Plan{
+		Seed:        1,
+		RTO:         sim.Millisecond,
+		Backoff:     2,
+		RTOMax:      rtoMax,
+		MaxAttempts: 50,
+		Crashes:     []fault.Crash{{Node: 1, At: 1, RestartAt: restart}},
+	}))
+	var delivered sim.Time
+	m.Nodes[1].InstallCoproc(func(msg Msg) (sim.Time, func()) {
+		return 0, func() { delivered = k.Now() }
+	})
+	k.Spawn("send", 0, func(p *sim.Proc) {
+		m.Nodes[0].Send(1, Msg{Kind: 1, Size: 4, Class: stats.ClassProtocol, Target: ToCoproc})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if delivered == 0 {
+		t.Fatal("message never delivered after restart")
+	}
+	if delivered < restart {
+		t.Fatalf("delivered at %v, before the restart at %v", delivered, restart)
+	}
+	if limit := restart + rtoMax + sim.Millisecond; delivered > limit {
+		t.Fatalf("delivered at %v, want within one capped RTO of restart (%v)", delivered, limit)
+	}
+	if retries := m.Nodes[0].Stats.Counts.Retries; retries < 10 {
+		t.Fatalf("retries = %d, want the capped chain to keep probing through the outage", retries)
+	}
+}
+
+// The dedup maps must not grow with run length: every id is retired once
+// the sender is done with it and no copy is still in flight, so after a
+// long faulty run with duplicates and lost acks they drain to empty.
+func TestSeenMapsBounded(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, 2, testCosts())
+	m.EnableFaults(fault.NewInjector(fault.Plan{
+		Seed:      3,
+		Drop:      0.2,
+		Duplicate: 0.5,
+	}))
+	m.Nodes[1].InstallCoproc(func(msg Msg) (sim.Time, func()) { return 0, nil })
+	const msgs = 500
+	k.Spawn("send", 0, func(p *sim.Proc) {
+		for i := 0; i < msgs; i++ {
+			m.Nodes[0].Send(1, Msg{Kind: 1, Size: 4, Class: stats.ClassProtocol, Target: ToCoproc})
+			p.Sleep(20 * sim.Microsecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	fl := m.faults
+	if fl.m.Nodes[1].Stats.Counts.DupsSuppressed == 0 {
+		t.Fatal("no duplicates suppressed: the test exercised nothing")
+	}
+	for dst, seen := range fl.seen {
+		if len(seen) != 0 {
+			t.Fatalf("dedup map for node %d holds %d unretired ids after the run", dst, len(seen))
+		}
+	}
+	if len(fl.pending) != 0 {
+		t.Fatalf("%d messages still pending after the run", len(fl.pending))
+	}
+}
+
+// The per-edge estimator only ever raises the timeout above the plan's
+// fixed RTO (which plays the minRTO role), and both the estimate and
+// the cap behave per edge.
+func TestAdaptiveRTOPerEdge(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, 4, testCosts())
+	m.EnableFaults(fault.NewInjector(fault.Plan{
+		Seed:        1,
+		Drop:        0.01,
+		AdaptiveRTO: true,
+		RTO:         2 * sim.Millisecond,
+		RTOMax:      50 * sim.Millisecond,
+	}))
+	fl := m.faults
+	// No samples: the fixed RTO.
+	if got := fl.rtoFor(0, 1); got != 2*sim.Millisecond {
+		t.Fatalf("unsampled edge RTO = %v, want 2ms", got)
+	}
+	// A slow edge: first sample sets srtt=rtt, rttvar=rtt/2, so the
+	// timeout becomes srtt + 2*rttvar = 2*rtt.
+	fl.rtt[0][1].observe(10 * sim.Millisecond)
+	if got := fl.rtoFor(0, 1); got != 20*sim.Millisecond {
+		t.Fatalf("sampled edge RTO = %v, want 20ms", got)
+	}
+	// Other edges are untouched.
+	if got := fl.rtoFor(1, 0); got != 2*sim.Millisecond {
+		t.Fatalf("reverse edge RTO = %v, want the fixed 2ms", got)
+	}
+	// A fast edge never drops below the fixed RTO (minRTO floor).
+	fl.rtt[2][3].observe(10 * sim.Microsecond)
+	if got := fl.rtoFor(2, 3); got != 2*sim.Millisecond {
+		t.Fatalf("fast edge RTO = %v, want the 2ms floor", got)
+	}
+	// A pathological edge is capped at RTOMax.
+	fl.rtt[3][2].observe(200 * sim.Millisecond)
+	if got := fl.rtoFor(3, 2); got != 50*sim.Millisecond {
+		t.Fatalf("slow edge RTO = %v, want the 50ms cap", got)
+	}
+	k.Shutdown()
+}
+
+// First-attempt acks feed the estimator; acks of retransmitted messages
+// are ambiguous and must be excluded (Karn's rule).
+func TestAdaptiveRTOKarnFilter(t *testing.T) {
+	k := sim.NewKernel()
+	m := New(k, 2, testCosts())
+	m.EnableFaults(fault.NewInjector(fault.Plan{
+		Seed:        1,
+		AdaptiveRTO: true,
+		// Drop exactly the first transmission of kind 7: its ack follows a
+		// retransmission, so it must not be sampled. Kind 8 flows clean.
+		Targets: []fault.Target{{Kind: 7, From: 0, To: 1, Nth: 1}},
+	}))
+	m.Nodes[1].InstallCoproc(func(msg Msg) (sim.Time, func()) { return 0, nil })
+	k.Spawn("send", 0, func(p *sim.Proc) {
+		m.Nodes[0].Send(1, Msg{Kind: 7, Size: 4, Class: stats.ClassProtocol, Target: ToCoproc})
+		p.Sleep(20 * sim.Millisecond) // past the retransmission and its ack
+		m.Nodes[0].Send(1, Msg{Kind: 8, Size: 4, Class: stats.ClassProtocol, Target: ToCoproc})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	e := m.faults.rtt[0][1]
+	if e.samples != 1 {
+		t.Fatalf("estimator saw %d samples, want 1 (Karn must exclude the retransmitted message)", e.samples)
+	}
+	// The surviving sample is the clean round trip, not the
+	// RTO-inflated one of the dropped-then-retransmitted message.
+	if e.srtt > sim.Millisecond {
+		t.Fatalf("srtt = %v: the ambiguous retransmission round trip leaked in", e.srtt)
+	}
+}

@@ -20,6 +20,7 @@ func countsMap(c Counters) map[string]int64 {
 		"retries":         c.Retries,
 		"dups_suppressed": c.DupsSuppressed,
 		"msgs_dropped":    c.MsgsDropped,
+		"link_drops":      c.LinkDrops,
 		"pages_rehomed":   c.PagesRehomed,
 	}
 }

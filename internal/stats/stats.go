@@ -72,6 +72,7 @@ type Counters struct {
 	Retries        int64 // transport retransmissions issued by this node
 	DupsSuppressed int64 // duplicate deliveries deduped at this node
 	MsgsDropped    int64 // copies the faulty network ate (sent by this node)
+	LinkDrops      int64 // copies eaten mid-route by a mesh link (subset of MsgsDropped)
 
 	// PagesRehomed counts pages this node adopted as their new home
 	// after the previous home crashed. Zero without crash recovery.
@@ -162,6 +163,7 @@ func (n Node) Sub(o Node) Node {
 		Retries:        n.Counts.Retries - o.Counts.Retries,
 		DupsSuppressed: n.Counts.DupsSuppressed - o.Counts.DupsSuppressed,
 		MsgsDropped:    n.Counts.MsgsDropped - o.Counts.MsgsDropped,
+		LinkDrops:      n.Counts.LinkDrops - o.Counts.LinkDrops,
 		PagesRehomed:   n.Counts.PagesRehomed - o.Counts.PagesRehomed,
 	}
 	for i := range n.MsgsOut {
@@ -224,6 +226,7 @@ func (r *Run) AvgNode() Node {
 		sum.Counts.Retries += nd.Counts.Retries
 		sum.Counts.DupsSuppressed += nd.Counts.DupsSuppressed
 		sum.Counts.MsgsDropped += nd.Counts.MsgsDropped
+		sum.Counts.LinkDrops += nd.Counts.LinkDrops
 		sum.Counts.PagesRehomed += nd.Counts.PagesRehomed
 		for i := range sum.MsgsOut {
 			sum.MsgsOut[i] += nd.MsgsOut[i]
@@ -251,6 +254,7 @@ func (r *Run) AvgNode() Node {
 	avg.Counts.Retries = sum.Counts.Retries / n
 	avg.Counts.DupsSuppressed = sum.Counts.DupsSuppressed / n
 	avg.Counts.MsgsDropped = sum.Counts.MsgsDropped / n
+	avg.Counts.LinkDrops = sum.Counts.LinkDrops / n
 	avg.Counts.PagesRehomed = sum.Counts.PagesRehomed / n
 	for i := range avg.MsgsOut {
 		avg.MsgsOut[i] = sum.MsgsOut[i] / n
