@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check sweep-faults sweep-rto bench bench-json
+.PHONY: all build test race vet fmt check sweep-faults sweep-rto sweep-serve bench bench-json
 
 all: check
 
@@ -34,6 +34,11 @@ sweep-faults:
 # per fault profile, with per-cell JSON statistics.
 sweep-rto:
 	$(GO) run ./cmd/svmbench -rto-ablation lossy,hostile -size small -procs 8,32 -json-dir out/rto
+
+# Open-loop KV serving: offered load x protocol x machine size with tail
+# latency, saturation detection, and per-cell JSON latency histograms.
+sweep-serve:
+	$(GO) run ./cmd/svmserve -loads 500,1000,2000,4000 -procs 4,8 -json-dir out/serve
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -23,6 +23,8 @@ import (
 	"gosvm/internal/bench"
 	"gosvm/internal/core"
 	"gosvm/internal/perf"
+	"gosvm/internal/serve"
+	"gosvm/internal/sim"
 )
 
 type benchResult struct {
@@ -48,6 +50,7 @@ type entry struct {
 	GOMAXPROCS int                    `json:"gomaxprocs"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
 	Sweep      *sweepResult           `json:"sweep,omitempty"`
+	Serve      *sweepResult           `json:"serve,omitempty"`
 }
 
 func main() {
@@ -55,6 +58,7 @@ func main() {
 		out     = flag.String("out", "BENCH_sim.json", "trajectory file to append to (- for stdout)")
 		size    = flag.String("size", "test", "problem size for the sweep measurement")
 		doSweep = flag.Bool("sweep", true, "measure Table-2 sweep wall clock at -parallel 1 vs GOMAXPROCS")
+		doServe = flag.Bool("serve", true, "measure serving-sweep wall clock at -parallel 1 vs GOMAXPROCS")
 	)
 	flag.Parse()
 
@@ -76,6 +80,7 @@ func main() {
 		{"ApplyDiff", perf.ApplyDiff},
 		{"SORSmall", perf.SORSmall},
 		{"LUSmall", perf.LUSmall},
+		{"ServeSmall", perf.ServeSmall},
 	} {
 		fmt.Fprintf(os.Stderr, "# bench %s...\n", b.name)
 		r := testing.Benchmark(b.fn)
@@ -88,6 +93,9 @@ func main() {
 
 	if *doSweep {
 		e.Sweep = measureSweep(apps.Size(*size))
+	}
+	if *doServe {
+		e.Serve = measureServe()
 	}
 
 	if err := appendEntry(*out, e); err != nil {
@@ -117,6 +125,45 @@ func measureSweep(size apps.Size) *sweepResult {
 	parS, _ := sweepOnce(size, par)
 	return &sweepResult{
 		Size:        string(size),
+		Cells:       cells,
+		Parallel:    par,
+		SeqSeconds:  seqS,
+		ParSeconds:  parS,
+		SeqCellsSec: float64(cells) / seqS,
+		ParCellsSec: float64(cells) / parS,
+		Speedup:     seqS / parS,
+	}
+}
+
+// serveSweepOnce renders a small serving sweep into the void at the
+// given parallelism and returns wall-clock seconds and the cell count.
+func serveSweepOnce(parallel int) (float64, int) {
+	r := bench.NewRunner(apps.SizeTest)
+	r.Procs = []int{2, 4}
+	r.Parallel = parallel
+	o := bench.ServeSweepOpts{
+		Base:  serve.Config{Keys: 256, Window: 20 * sim.Millisecond, Seed: 7},
+		Loads: []float64{400, 2000},
+		Seed:  7,
+	}
+	start := time.Now()
+	if err := r.ServeSweep(io.Discard, o, ""); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	secs := time.Since(start).Seconds()
+	cells := len(o.Loads) * len(r.Procs) * len(core.Protocols)
+	return secs, cells
+}
+
+func measureServe() *sweepResult {
+	par := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(os.Stderr, "# serve sweep -parallel 1...\n")
+	seqS, cells := serveSweepOnce(1)
+	fmt.Fprintf(os.Stderr, "# serve sweep -parallel %d...\n", par)
+	parS, _ := serveSweepOnce(par)
+	return &sweepResult{
+		Size:        "test",
 		Cells:       cells,
 		Parallel:    par,
 		SeqSeconds:  seqS,

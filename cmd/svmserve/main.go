@@ -1,0 +1,135 @@
+// Command svmserve runs the open-loop request-serving workload: a
+// key-value store sharded over SVM pages, driven by seeded Poisson (or
+// bursty MMPP) client populations, swept over offered load x protocol x
+// machine size with p50/p99/p999 tail latency, throughput-vs-offered-
+// load, and saturation detection.
+//
+// Usage:
+//
+//	svmserve                                   # default sweep
+//	svmserve -loads 500,1000,2000,4000 -procs 4,8
+//	svmserve -faults crash -window-ms 60       # tail latency under a mid-run crash
+//	svmserve -arrival bursty -zipf 0.99 -mix 50,40,10
+//	svmserve -json-dir out/serve               # per-cell JSON with full histograms
+//
+// Output is byte-identical at any -parallel level for a fixed seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gosvm/internal/apps"
+	"gosvm/internal/bench"
+	"gosvm/internal/core"
+	"gosvm/internal/serve"
+	"gosvm/internal/sim"
+)
+
+func main() {
+	var (
+		procsFlag = flag.String("procs", "4,8", "machine sizes to sweep")
+		protoFlag = flag.String("protocols", "", "protocol columns (default: lrc,olrc,hlrc,ohlrc; crash profile: hlrc,ohlrc)")
+		loadsFlag = flag.String("loads", "500,1000,2000,4000", "offered loads to sweep, total req/s across the machine")
+		windowMs  = flag.Float64("window-ms", 50, "arrival window in simulated milliseconds")
+		keys      = flag.Int("keys", 4096, "key-space size")
+		shards    = flag.Int("shards", 0, "lock-guarded shards (0 = 4 per node)")
+		mix       = flag.String("mix", "80,15,5", "read,write,scan percentages")
+		scanLen   = flag.Int("scan", 16, "slots per scan")
+		zipf      = flag.Float64("zipf", 0.9, "Zipfian key skew theta in [0,1); 0 = uniform")
+		arrival   = flag.String("arrival", "poisson", "arrival process: poisson or bursty (MMPP-2)")
+		burst     = flag.Float64("burst", 3, "bursty arrival burst-state rate multiplier")
+		serviceUs = flag.Float64("service-us", 5, "modeled per-op compute time, microseconds")
+		seed      = flag.Int64("seed", 1, "workload and fault-plan seed")
+		faults    = flag.String("faults", "", "fault profile composed over every cell (lossy, hostile, crash)")
+		page      = flag.Int("page", 4096, "page size in bytes")
+		parallel  = flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics (with latency histograms) here")
+		quiet     = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(2)
+	}
+
+	r := bench.NewRunner(apps.SizeSmall)
+	r.PageBytes = *page
+	r.Parallel = *parallel
+	if !*quiet {
+		r.Progress = os.Stderr
+	}
+	var procs []int
+	for _, s := range strings.Split(*procsFlag, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || p < 1 {
+			fail("bad -procs entry %q", s)
+		}
+		procs = append(procs, p)
+	}
+	r.Procs = procs
+
+	var loads []float64
+	for _, s := range strings.Split(*loadsFlag, ",") {
+		l, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || l <= 0 {
+			fail("bad -loads entry %q", s)
+		}
+		loads = append(loads, l)
+	}
+
+	var protos []core.Protocol
+	if *protoFlag != "" {
+		for _, s := range strings.Split(*protoFlag, ",") {
+			p, err := core.ParseProtocol(strings.TrimSpace(s))
+			if err != nil {
+				fail("%v", err)
+			}
+			protos = append(protos, p)
+		}
+	}
+
+	mixParts := strings.Split(*mix, ",")
+	if len(mixParts) != 3 {
+		fail("bad -mix %q: want read,write,scan percentages", *mix)
+	}
+	var pcts [3]int
+	for i, s := range mixParts {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fail("bad -mix entry %q", s)
+		}
+		pcts[i] = v
+	}
+
+	cfg := serve.Config{
+		Keys:        *keys,
+		Shards:      *shards,
+		Window:      sim.Time(*windowMs * float64(sim.Millisecond)),
+		ReadPct:     pcts[0],
+		WritePct:    pcts[1],
+		ScanPct:     pcts[2],
+		ScanLen:     *scanLen,
+		ZipfTheta:   *zipf,
+		Arrival:     *arrival,
+		BurstFactor: *burst,
+		ServiceNs:   sim.Time(*serviceUs * float64(sim.Microsecond)),
+		Seed:        *seed,
+	}
+
+	opts := bench.ServeSweepOpts{
+		Base:    cfg,
+		Loads:   loads,
+		Protos:  protos,
+		Profile: *faults,
+		Seed:    *seed,
+	}
+	if err := r.ServeSweep(os.Stdout, opts, *jsonDir); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"gosvm/internal/fault"
 	"gosvm/internal/mem"
 	"gosvm/internal/paragon"
+	"gosvm/internal/serve"
 	"gosvm/internal/sim"
 	"gosvm/internal/stats"
 	"gosvm/internal/trace"
@@ -118,6 +119,28 @@ type (
 	// Recovery configures home-state replication and re-homing for the
 	// home-based protocols (see Options.Recovery, WithReplication).
 	Recovery = core.Recovery
+	// ServeConfig parameterizes the open-loop request-serving workload:
+	// key-value store shape (keys, shards, op mix, Zipf skew), arrival
+	// process (Poisson or bursty MMPP), offered load, and window. See
+	// Serve and NewServeApp.
+	ServeConfig = serve.Config
+	// ServeApp is the serving workload as an App, with access to its
+	// request traces, trace-derived expected store contents, and the
+	// post-run serve statistics. Build one with NewServeApp.
+	ServeApp = serve.KV
+	// ServeStats is the serving workload's result block: offered vs.
+	// achieved throughput, tail-latency histogram, and saturation
+	// detection (RunStats.Serve).
+	ServeStats = stats.ServeStats
+	// LatencyHist is the HDR-style log-bucketed latency histogram behind
+	// ServeStats.Latency.
+	LatencyHist = stats.Hist
+)
+
+// Arrival process names accepted by ServeConfig.Arrival.
+const (
+	ArrivalPoisson = serve.ArrivalPoisson
+	ArrivalBursty  = serve.ArrivalBursty
 )
 
 // Structured errors. Use errors.As to detect them under the wrapping
@@ -241,6 +264,32 @@ func Run(opts Options, app App) (*Result, error) {
 // (the instrumentation behind the paper's Figure 4).
 func RunWithPhases(opts Options, app App) (*Result, error) {
 	return core.Run(opts, app, true)
+}
+
+// NewServeApp builds the open-loop serving workload for a machine of
+// the given size: a key-value store sharded over SVM pages plus the
+// per-node seeded client traces that drive it. The traces depend only
+// on (cfg, procs) — never the protocol, fault plan, or host — so every
+// protocol serves the identical request stream. Instances are
+// single-run; call ServeApp.Stats after the run for the latency block,
+// or use Serve, which wires everything together.
+func NewServeApp(cfg ServeConfig, procs int) (*ServeApp, error) {
+	return serve.New(cfg, procs)
+}
+
+// Serve runs the open-loop serving workload under opts: it builds the
+// workload for opts' machine size, serves the trace through the
+// configured protocol, validates the final store contents against the
+// trace-derived expectation, and attaches the tail-latency /
+// throughput / saturation block to Result.Stats.Serve (also emitted by
+// RunStats.WriteJSON as the "serve" object).
+func Serve(opts Options, cfg ServeConfig) (*Result, error) {
+	opts.Defaults()
+	kv, err := serve.New(cfg, opts.NumProcs)
+	if err != nil {
+		return nil, err
+	}
+	return serve.Run(opts, kv)
 }
 
 // Sequential measures the sequential execution of app: the speedup

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+	"time"
+
+	"gosvm/internal/core"
+	"gosvm/internal/fault"
+	"gosvm/internal/serve"
+	"gosvm/internal/sim"
+)
+
+// ServeSweepOpts configures the open-loop serving sweep: the workload
+// shape, the offered-load axis, and an optional fault profile composed
+// over every cell.
+type ServeSweepOpts struct {
+	// Base is the workload shape (key space, mix, skew, arrival process,
+	// window, seed). OfferedLoad is overridden per cell by Loads.
+	Base serve.Config
+	// Loads is the offered-load axis in requests per simulated second
+	// (total across the machine).
+	Loads []float64
+	// Protos are the protocol columns; nil means the paper's four (or
+	// the home-based pair under a crash profile).
+	Protos []core.Protocol
+	// Profile is an optional fault profile name ("", "lossy", "hostile",
+	// "crash") composed over every cell; Seed seeds its plan. Crash
+	// cells run with one home-state replica, as the fault sweep does.
+	Profile string
+	Seed    int64
+}
+
+// ServeSweep sweeps offered load x machine size x protocol over the
+// open-loop KV serving workload and renders a latency/throughput table:
+// offered vs. achieved rate, p50/p99/p999 service latency on the
+// simulated clock, queue utilization, and saturation detection.
+//
+// Cells fan out across host cores exactly like the closed-loop sweeps:
+// every cell owns its kernel and its (deterministic, protocol- and
+// parallelism-independent) client trace, and rendering reads completed
+// cells in fixed grid order, so the table and any per-cell JSON are
+// byte-identical at every -parallel level. Every cell validates the
+// final store contents against the trace-derived expectation.
+//
+// When jsonDir is non-empty, each cell's statistics (including the
+// serve block with the full latency histogram) are written there as
+// serve-<profile>-<proto>-p<procs>-l<load>.json.
+func (r *Runner) ServeSweep(out io.Writer, o ServeSweepOpts, jsonDir string) error {
+	if len(o.Loads) == 0 {
+		return fmt.Errorf("bench: serve sweep needs at least one offered load")
+	}
+	profile := o.Profile
+	if profile == "" {
+		profile = fault.ProfileNone
+	}
+	plan, err := fault.Profile(profile, o.Seed)
+	if err != nil {
+		return err
+	}
+	protos := o.Protos
+	if protos == nil {
+		protos = faultProtocols(profile)
+	}
+	if jsonDir != "" {
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	type scell struct {
+		load  float64
+		procs int
+		proto core.Protocol
+	}
+	var cells []scell
+	for _, load := range o.Loads {
+		for _, procs := range r.Procs {
+			for _, proto := range protos {
+				cells = append(cells, scell{load, procs, proto})
+			}
+		}
+	}
+	results := make([]*core.Result, len(cells))
+	errs := make([]error, len(cells))
+	r.forEach(len(cells), func(i int) {
+		c := cells[i]
+		results[i], errs[i] = r.runServe(o.Base, c.load, c.proto, c.procs, plan)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	crash := len(plan.Crashes) > 0
+	fmt.Fprintf(out, "Open-loop KV serving sweep: offered load vs. tail latency (fault profile %q, seed %d)\n",
+		profile, o.Seed)
+	fmt.Fprintln(out, "rates in requests per simulated second; latencies on the simulated clock")
+	tw := tabwriter.NewWriter(out, 4, 8, 2, ' ', 0)
+	fmt.Fprint(tw, "Offered\tProcs\tProtocol\tGenerated\tAchieved\tRatio\tUtil\tp50(ms)\tp99(ms)\tp999(ms)\tSaturated")
+	if plan.Active() {
+		fmt.Fprint(tw, "\tRetries\tRecovery(ms)")
+	}
+	if crash {
+		fmt.Fprint(tw, "\tRehomed")
+	}
+	fmt.Fprintln(tw)
+	next := 0
+	for _, load := range o.Loads {
+		for _, procs := range r.Procs {
+			for _, proto := range protos {
+				res := results[next]
+				next++
+				s := res.Stats.Serve
+				sat := ""
+				if s.Saturated() {
+					sat = "SATURATED"
+				}
+				fmt.Fprintf(tw, "%.0f\t%d\t%s\t%d\t%.0f\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\t%s",
+					load, procs, proto, s.Generated, s.AchievedRate(), s.SaturationRatio(),
+					s.MaxUtil, ms(s.Latency.P50()), ms(s.Latency.P99()), ms(s.Latency.P999()), sat)
+				if plan.Active() {
+					var retries, rehomed int64
+					var recovery sim.Time
+					for _, nd := range res.Stats.Nodes {
+						retries += nd.Counts.Retries
+						rehomed += nd.Counts.PagesRehomed
+						recovery += nd.Recovery
+					}
+					fmt.Fprintf(tw, "\t%d\t%.2f", retries, ms(recovery))
+					if crash {
+						fmt.Fprintf(tw, "\t%d", rehomed)
+					}
+				}
+				fmt.Fprintln(tw)
+				if jsonDir != "" {
+					name := fmt.Sprintf("serve-%s-%s-p%d-l%.0f.json", profile, proto, procs, load)
+					if err := writeCellJSON(filepath.Join(jsonDir, name), res); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// runServe executes one serving cell: build the (cell-local) workload,
+// run it under the protocol and fault plan, validate the store, and
+// attach the serve statistics.
+func (r *Runner) runServe(base serve.Config, load float64, proto core.Protocol, procs int, plan fault.Plan) (*core.Result, error) {
+	cfg := base
+	cfg.OfferedLoad = load
+	kv, err := serve.New(cfg, procs)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{
+		Protocol:    proto,
+		NumProcs:    procs,
+		PageBytes:   r.PageBytes,
+		GCThreshold: r.GCThreshold,
+		Fault:       plan,
+	}
+	if len(plan.Crashes) > 0 {
+		opts.Recovery = core.Recovery{Replicas: 1}
+	}
+	r.acquire()
+	start := time.Now()
+	res, err := serve.Run(opts, kv)
+	r.release()
+	if err != nil {
+		return nil, fmt.Errorf("bench: kv-serve/%s/p%d/l%.0f: %w", proto, procs, load, err)
+	}
+	r.progressf("# ran kv-serve/%s/p%d/l%.0f: %d reqs, simulated %.1fms (%.2fs real)\n",
+		proto, procs, load, res.Stats.Serve.Completed,
+		res.Stats.Elapsed.Micros()/1e3, time.Since(start).Seconds())
+	return res, nil
+}
+
+// ms renders simulated time in milliseconds.
+func ms(t sim.Time) float64 { return t.Micros() / 1e3 }
+
+// writeCellJSON writes one cell's run statistics to path.
+func writeCellJSON(path string, res *core.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := res.Stats.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

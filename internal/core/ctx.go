@@ -106,6 +106,19 @@ func (c *Ctx) WriteRange(a mem.Addr, src []float64) {
 	}
 }
 
+// Wait idles the processor for d of simulated time without charging any
+// busy category: the open-loop serving workload's "no request pending"
+// state. Zero or negative d returns immediately.
+func (c *Ctx) Wait(d sim.Time) {
+	if d > 0 {
+		c.proc.Sleep(d)
+	}
+}
+
+// WaitUntil idles until simulated time t (no-op if t has passed). Used
+// by open-loop clients to hold requests until their arrival time.
+func (c *Ctx) WaitUntil(t sim.Time) { c.Wait(t - c.proc.Now()) }
+
 // Lock acquires the given lock (Splash-2 LOCK).
 func (c *Ctx) Lock(l int) { c.eng.Acquire(l) }
 

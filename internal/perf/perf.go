@@ -14,6 +14,7 @@ import (
 	"gosvm/internal/apps"
 	"gosvm/internal/core"
 	"gosvm/internal/mem"
+	"gosvm/internal/serve"
 	"gosvm/internal/sim"
 )
 
@@ -144,3 +145,26 @@ func SORSmall(b *testing.B) { endToEnd(b, "sor", core.ProtoHLRC, 8) }
 
 // LUSmall is an end-to-end LRC run of the test-size LU kernel.
 func LUSmall(b *testing.B) { endToEnd(b, "lu", core.ProtoLRC, 8) }
+
+// ServeSmall is an end-to-end OHLRC run of a small open-loop serving
+// cell: trace generation, the full request loop with latency recording,
+// and store validation per iteration.
+func ServeSmall(b *testing.B) {
+	cfg := serve.Config{
+		Keys:        256,
+		OfferedLoad: 3000,
+		Window:      20 * sim.Millisecond,
+		Seed:        7,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kv, err := serve.New(cfg, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{Protocol: core.ProtoOHLRC, NumProcs: 4, PageBytes: 8192, GCThreshold: 8 << 20}
+		if _, err := serve.Run(opts, kv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,3 +9,4 @@ func BenchmarkComputeDiff(b *testing.B)     { ComputeDiff(b) }
 func BenchmarkApplyDiff(b *testing.B)       { ApplyDiff(b) }
 func BenchmarkSORSmall(b *testing.B)        { SORSmall(b) }
 func BenchmarkLUSmall(b *testing.B)         { LUSmall(b) }
+func BenchmarkServeSmall(b *testing.B)      { ServeSmall(b) }

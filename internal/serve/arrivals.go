@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"math"
+
+	"gosvm/internal/sim"
+)
+
+// rng is a splitmix64 generator: tiny, fast, and fully deterministic
+// across platforms, so the same seed always yields the same client
+// trace regardless of host parallelism or protocol under test.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a value in [0,1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// openFloat returns a value in (0,1), safe as a log/division argument.
+func (r *rng) openFloat() float64 {
+	for {
+		if v := r.float(); v > 0 {
+			return v
+		}
+	}
+}
+
+// intn returns a value in [0,n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// scramble is a 64-bit finalizer used to spread Zipf ranks (and shard
+// assignments) uniformly over the key space, so the popular keys do not
+// cluster on one shard or page.
+func scramble(v uint64) uint64 {
+	v = (v ^ (v >> 33)) * 0xff51afd7ed558ccd
+	v = (v ^ (v >> 33)) * 0xc4ceb9fe1a85ec53
+	return v ^ (v >> 33)
+}
+
+// exp draws an exponential interarrival gap for the given rate (events
+// per simulated second), in simulated time.
+func (r *rng) exp(rate float64) sim.Time {
+	gap := -math.Log(r.openFloat()) / rate * float64(sim.Second)
+	t := sim.Time(gap)
+	if t < 1 {
+		t = 1 // the clock is integral; coincident arrivals stay ordered
+	}
+	return t
+}
+
+// Arrival process names accepted by Config.Arrival.
+const (
+	// ArrivalPoisson is a homogeneous Poisson process: independent
+	// exponential interarrival gaps at the configured rate.
+	ArrivalPoisson = "poisson"
+	// ArrivalBursty is a two-state Markov-modulated Poisson process
+	// (MMPP-2): the client population alternates between a calm state
+	// and a burst state whose rate is Config.BurstFactor times the
+	// calm-adjusted base, with exponentially distributed dwell times.
+	// The state mix is chosen so the long-run mean rate equals the
+	// configured offered load.
+	ArrivalBursty = "bursty"
+)
+
+// burstHighFraction is the long-run fraction of time an MMPP-2 client
+// population spends in the burst state.
+const burstHighFraction = 0.2
+
+// arrivals generates one node's arrival times on [0, window) at the
+// given mean rate, using the named process. The returned times are
+// strictly increasing.
+func arrivals(r *rng, process string, rate float64, window sim.Time, burstFactor float64) []sim.Time {
+	var out []sim.Time
+	switch process {
+	case ArrivalBursty:
+		// Rates per state, preserving the requested mean:
+		//   f*high + (1-f)*low = rate,  high = burstFactor*rate
+		// => low = rate*(1-f*burstFactor)/(1-f), valid while
+		// burstFactor < 1/f.
+		f := burstHighFraction
+		high := burstFactor * rate
+		low := rate * (1 - f*burstFactor) / (1 - f)
+		// Mean dwell: an eighth of the window in the burst state, scaled
+		// so the calm state's longer dwell matches the f : 1-f time mix.
+		dwellHigh := window / 8
+		if dwellHigh < 1 {
+			dwellHigh = 1
+		}
+		dwellLow := sim.Time(float64(dwellHigh) * (1 - f) / f)
+		inBurst := false
+		var t sim.Time
+		stateEnd := sim.Time(float64(dwellLow) * -math.Log(r.openFloat()))
+		for t < window {
+			cur := low
+			if inBurst {
+				cur = high
+			}
+			next := t + r.exp(cur)
+			if next >= stateEnd {
+				// Switch states at the dwell boundary; the partial gap is
+				// discarded, which thins the boundary slightly — harmless
+				// for a workload generator.
+				t = stateEnd
+				inBurst = !inBurst
+				dwell := dwellLow
+				if inBurst {
+					dwell = dwellHigh
+				}
+				stateEnd = t + sim.Time(float64(dwell)*-math.Log(r.openFloat()))
+				continue
+			}
+			t = next
+			if t < window {
+				out = append(out, t)
+			}
+		}
+	default: // ArrivalPoisson
+		t := r.exp(rate)
+		for t < window {
+			out = append(out, t)
+			t += r.exp(rate)
+		}
+	}
+	return out
+}
+
+// zipfGen draws key ranks with Zipfian popularity skew (rank 0 hottest),
+// using the standard Gray et al. rejection-free inversion also used by
+// YCSB. theta = 0 degenerates to uniform.
+type zipfGen struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64
+}
+
+func newZipf(n int, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	if theta == 0 {
+		return z
+	}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	zeta2 := 1 + 1/math.Pow(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	z.half = 1 + math.Pow(0.5, theta)
+	return z
+}
+
+// rank draws the next popularity rank in [0, n).
+func (z *zipfGen) rank(r *rng) int {
+	if z.theta == 0 {
+		return r.intn(z.n)
+	}
+	u := r.float()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.half {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}

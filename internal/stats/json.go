@@ -63,21 +63,22 @@ func nodeJSON(n *Node) jsonNode {
 // benchmark trajectory (BENCH_*.json and friends).
 func (r *Run) MarshalJSON() ([]byte, error) {
 	out := struct {
-		App           string     `json:"app"`
-		Protocol      string     `json:"protocol"`
-		Procs         int        `json:"procs"`
-		ElapsedNs     int64      `json:"elapsed_ns"`
-		SeqNs         int64      `json:"seq_ns,omitempty"`
-		Speedup       float64    `json:"speedup,omitempty"`
-		TotalMsgs     int64      `json:"total_msgs"`
-		DataBytes     int64      `json:"data_bytes"`
-		ProtocolBytes int64      `json:"protocol_bytes"`
-		PeakProtoMem  int64      `json:"peak_proto_mem"`
-		TotalAppMem   int64      `json:"total_app_mem"`
-		PagesRehomed  int64      `json:"pages_rehomed,omitempty"`
-		ReplicaBytes  int64      `json:"replica_bytes,omitempty"`
-		DetectNs      int64      `json:"detect_ns,omitempty"`
-		Nodes         []jsonNode `json:"nodes"`
+		App           string      `json:"app"`
+		Protocol      string      `json:"protocol"`
+		Procs         int         `json:"procs"`
+		ElapsedNs     int64       `json:"elapsed_ns"`
+		SeqNs         int64       `json:"seq_ns,omitempty"`
+		Speedup       float64     `json:"speedup,omitempty"`
+		TotalMsgs     int64       `json:"total_msgs"`
+		DataBytes     int64       `json:"data_bytes"`
+		ProtocolBytes int64       `json:"protocol_bytes"`
+		PeakProtoMem  int64       `json:"peak_proto_mem"`
+		TotalAppMem   int64       `json:"total_app_mem"`
+		PagesRehomed  int64       `json:"pages_rehomed,omitempty"`
+		ReplicaBytes  int64       `json:"replica_bytes,omitempty"`
+		DetectNs      int64       `json:"detect_ns,omitempty"`
+		Serve         *ServeStats `json:"serve,omitempty"`
+		Nodes         []jsonNode  `json:"nodes"`
 	}{
 		App:           r.App,
 		Protocol:      r.Protocol,
@@ -90,6 +91,7 @@ func (r *Run) MarshalJSON() ([]byte, error) {
 		ProtocolBytes: r.TotalBytes(ClassProtocol),
 		PeakProtoMem:  r.PeakProtoMem(),
 		TotalAppMem:   r.TotalAppMem(),
+		Serve:         r.Serve,
 	}
 	for _, nd := range r.Nodes {
 		out.PagesRehomed += nd.Counts.PagesRehomed

@@ -187,6 +187,11 @@ type Run struct {
 	Elapsed   sim.Time // parallel execution time (max over procs)
 	SeqTime   sim.Time // sequential reference time, if measured
 	PhaseCaps []Phase  // optional inter-barrier captures
+
+	// Serve is the open-loop serving workload's latency/throughput block
+	// (offered vs. achieved rate, tail-latency histogram, saturation).
+	// Nil for the closed-loop batch kernels.
+	Serve *ServeStats
 }
 
 // Phase is the per-node delta between two consecutive barriers.
