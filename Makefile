@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check sweep-faults sweep-rto sweep-serve bench bench-json
+.PHONY: all build test race vet fmt check sweep-faults sweep-rto sweep-serve sweep-scale bench bench-json
 
 all: check
 
@@ -39,6 +39,12 @@ sweep-rto:
 # latency, saturation detection, and per-cell JSON latency histograms.
 sweep-serve:
 	$(GO) run ./cmd/svmserve -loads 500,1000,2000,4000 -procs 4,8 -json-dir out/serve
+
+# Strong-scaling curves 64 -> 1024 nodes on the paper's SOR grid:
+# speedup, traffic split, home hot-spot skew, and protocol memory per
+# protocol, appended to BENCH_sim.json as a "scale" entry.
+sweep-scale:
+	$(GO) run ./cmd/svmbench -scale -size paper -scale-json BENCH_sim.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,6 +8,7 @@
 //	svmbench -table 2 -size small      # one table, quickly
 //	svmbench -fig 3
 //	svmbench -sor0 -ablations
+//	svmbench -scale                    # 64..1024-node scaling curves
 //
 // Runs are memoized, so -all shares the underlying sweep across tables.
 package main
@@ -16,46 +17,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"gosvm/internal/apps"
 	"gosvm/internal/bench"
+	"gosvm/internal/cliflags"
+	"gosvm/internal/paragon"
 )
 
 func main() {
 	var (
-		size      = flag.String("size", "small", "problem size: test, small, paper")
-		table     = flag.Int("table", 0, "regenerate one table (1-6)")
-		fig       = flag.Int("fig", 0, "regenerate one figure (3 or 4)")
-		sor0      = flag.Bool("sor0", false, "run the §4.8 zero-initialized SOR experiment")
-		ablations = flag.Bool("ablations", false, "run the ablation suite")
-		all       = flag.Bool("all", false, "regenerate everything")
-		procsFlag = flag.String("procs", "8,32,64", "machine sizes")
-		page      = flag.Int("page", 8192, "page size in bytes")
-		faults    = flag.String("faults", "", "comma-separated fault profiles to sweep (lossy, hostile, crash)")
-		rtoAbl    = flag.String("rto-ablation", "", "run the fixed-vs-adaptive RTO ablation on the mesh for these fault profiles (e.g. lossy,hostile)")
-		seed      = flag.Int64("seed", 1, "seed for the -faults and -rto-ablation plans")
-		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics of the -faults / -rto-ablation sweeps here")
-		parallel  = flag.Int("parallel", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
-		quiet     = flag.Bool("q", false, "suppress per-run progress")
+		size       = flag.String("size", "small", "problem size: test, small, paper")
+		table      = flag.Int("table", 0, "regenerate one table (1-6)")
+		fig        = flag.Int("fig", 0, "regenerate one figure (3 or 4)")
+		sor0       = flag.Bool("sor0", false, "run the §4.8 zero-initialized SOR experiment")
+		ablations  = flag.Bool("ablations", false, "run the ablation suite")
+		all        = flag.Bool("all", false, "regenerate everything")
+		mf         = cliflags.AddMachineList(flag.CommandLine, "8,32,64", 8192)
+		scale      = flag.Bool("scale", false, "run the machine-size scaling sweep (fixed-size SOR, speedup/traffic/hot-spot skew vs node count)")
+		scaleNodes = flag.String("scale-nodes", "", "node counts for -scale (default 64,128,256,512,1024)")
+		scaleJSON  = flag.String("scale-json", "", "append the -scale grid to this JSON trajectory file (conventionally BENCH_sim.json)")
+		faults     = flag.String("faults", "", "comma-separated fault profiles to sweep (lossy, hostile, crash)")
+		rtoAbl     = flag.String("rto-ablation", "", "run the fixed-vs-adaptive RTO ablation on the mesh for these fault profiles (e.g. lossy,hostile)")
+		seed       = flag.Int64("seed", 1, "seed for the -faults and -rto-ablation plans")
+		jsonDir    = flag.String("json-dir", "", "write per-cell JSON statistics of the -faults / -rto-ablation sweeps here")
+		parallel   = cliflags.AddParallel(flag.CommandLine)
+		quiet      = cliflags.AddQuiet(flag.CommandLine)
 	)
 	flag.Parse()
 
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	r := bench.NewRunner(apps.Size(*size))
-	r.PageBytes = *page
+	r.PageBytes = mf.Page
 	r.Parallel = *parallel
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
-	var procs []int
-	for _, s := range strings.Split(*procsFlag, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || p < 1 {
-			fmt.Fprintf(os.Stderr, "bad -procs entry %q\n", s)
-			os.Exit(2)
-		}
-		procs = append(procs, p)
+	shape, err := mf.Shape()
+	if err != nil {
+		fail(err)
+	}
+	r.Machine = shape
+	procs, err := mf.ProcsList()
+	if err != nil {
+		fail(err)
 	}
 	r.Procs = procs
 
@@ -78,7 +86,11 @@ func main() {
 	}
 	if *all || *table == 3 {
 		section()
-		bench.Table3(out, *page)
+		c := r.Machine.Costs
+		if c == (paragon.Costs{}) {
+			c = paragon.DefaultCosts()
+		}
+		bench.Table3For(out, mf.Page, c)
 	}
 	if *all || *table == 4 {
 		section()
@@ -119,6 +131,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scale {
+		section()
+		var o bench.ScaleOpts
+		o.GridFor(apps.Size(*size))
+		if *scaleNodes != "" {
+			nodes, err := cliflags.Ints(*scaleNodes)
+			if err != nil {
+				fail(err)
+			}
+			o.Nodes = nodes
+		}
+		if err := r.ScaleSweep(out, o, *scaleJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *rtoAbl != "" {
 		section()
 		var profiles []string
@@ -131,7 +159,7 @@ func main() {
 		}
 	}
 	if !any {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -fig N, -sor0, -ablations, -faults, or -rto-ablation")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -fig N, -sor0, -ablations, -scale, -faults, or -rto-ablation")
 		os.Exit(2)
 	}
 }

@@ -17,12 +17,17 @@ import (
 
 func main() {
 	page := flag.Int("page", 8192, "page size in bytes")
+	costsName := flag.String("costs", "", `cost profile: "paragon" (default; the paper's Table 3) or "modern" (us-scale kernel-bypass messaging)`)
 	flag.Parse()
 
-	bench.Table3(os.Stdout, *page)
+	c, err := paragon.CostProfile(*costsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	bench.Table3For(os.Stdout, *page, c)
 
 	fmt.Println("\nMicro-simulated round trips (machine model, measured):")
-	c := paragon.DefaultCosts()
 
 	measure := func(name string, target paragon.Target, respBytes int, extra sim.Time) {
 		k := sim.NewKernel()

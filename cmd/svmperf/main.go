@@ -10,7 +10,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -81,6 +80,7 @@ func main() {
 		{"SORSmall", perf.SORSmall},
 		{"LUSmall", perf.LUSmall},
 		{"ServeSmall", perf.ServeSmall},
+		{"ScaleSmall", perf.ScaleSmall},
 	} {
 		fmt.Fprintf(os.Stderr, "# bench %s...\n", b.name)
 		r := testing.Benchmark(b.fn)
@@ -98,7 +98,7 @@ func main() {
 		e.Serve = measureServe()
 	}
 
-	if err := appendEntry(*out, e); err != nil {
+	if err := bench.AppendJSON(*out, e); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -172,35 +172,4 @@ func measureServe() *sweepResult {
 		ParCellsSec: float64(cells) / parS,
 		Speedup:     seqS / parS,
 	}
-}
-
-// appendEntry reads the existing trajectory (a JSON array), appends e, and
-// rewrites the file. "-" prints the single entry to stdout instead.
-func appendEntry(path string, e entry) error {
-	enc := func(w io.Writer, v any) error {
-		j := json.NewEncoder(w)
-		j.SetIndent("", "  ")
-		return j.Encode(v)
-	}
-	if path == "-" {
-		return enc(os.Stdout, e)
-	}
-	var entries []entry
-	if data, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(data, &entries); err != nil {
-			return fmt.Errorf("svmperf: %s exists but is not a JSON entry array: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	entries = append(entries, e)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	werr := enc(f, entries)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
 }

@@ -16,6 +16,7 @@ import (
 
 	"gosvm"
 	"gosvm/internal/apps"
+	"gosvm/internal/cliflags"
 	"gosvm/internal/stats"
 )
 
@@ -23,21 +24,17 @@ func main() {
 	var (
 		appName  = flag.String("app", "sor", "application: lu, sor, sor-zero, water-nsq, water-sp, raytrace, fft")
 		protoStr = flag.String("proto", gosvm.HLRC.String(), "protocol: lrc, olrc, hlrc, ohlrc, aurc")
-		procs    = flag.Int("procs", 8, "number of nodes")
+		mf       = cliflags.AddMachine(flag.CommandLine, 8, 8192)
+		ff       = cliflags.AddFault(flag.CommandLine, gosvm.FaultNone)
 		size     = flag.String("size", "small", "problem size: test, small, paper")
-		page     = flag.Int("page", 8192, "page size in bytes")
 		gcThr    = flag.Int64("gc-threshold", 8<<20, "homeless GC trigger, bytes of protocol memory per node")
 		noSeq    = flag.Bool("noseq", false, "skip the sequential baseline run")
-		faults   = flag.String("faults", gosvm.FaultNone, "fault profile: none, lossy, hostile, crash")
-		seed     = flag.Int64("seed", 1, "seed for the fault plan (apps initialize deterministically), so runs reproduce by construction")
-		meshNet  = flag.Bool("mesh", false, "model the network as a 2-D wormhole mesh (XY routing, per-link contention) instead of a crossbar")
-		linkLvl  = flag.Bool("link-level", false, "render the fault profile at mesh-link granularity: loss and jitter roll per link crossing and correlate with XY routes (implies -mesh)")
-		adaptive = flag.Bool("adaptive-rto", false, "per-(src,dst)-edge Jacobson/Karels RTT estimation instead of the plan's fixed retransmission timeout")
 		replicas = flag.Int("replicas", 0, "home-state replicas per home (required to survive crashes; hlrc/ohlrc only)")
 		ckpt     = flag.Duration("ckpt", 0, "checkpoint period in simulated time (0 = eager mirroring; requires -replicas)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON statistics instead of text")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = sequential); lets the sequential baseline overlap the main run")
+		parallel = cliflags.AddParallel(flag.CommandLine)
 	)
+	mf.AddMeshAlias(flag.CommandLine)
 	flag.Parse()
 
 	proto, err := gosvm.ParseProtocol(*protoStr)
@@ -45,15 +42,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	plan, err := gosvm.FaultProfile(*faults, *seed)
+	machine, err := mf.Machine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *linkLvl {
-		plan = plan.AtLinkLevel(*procs)
+	plan, err := ff.Plan(machine.Nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	plan.AdaptiveRTO = *adaptive
 
 	mk := func() gosvm.App {
 		a, err := apps.New(*appName, apps.Size(*size))
@@ -64,18 +62,14 @@ func main() {
 		return a
 	}
 
-	optFns := []gosvm.Option{
-		gosvm.WithProcs(*procs),
-		gosvm.WithPageBytes(*page),
+	opts := gosvm.NewOptions(proto,
+		gosvm.WithMachine(machine),
+		gosvm.WithPageBytes(mf.Page),
 		gosvm.WithGCThreshold(*gcThr),
 		gosvm.WithFaults(plan),
 		gosvm.WithReplication(*replicas),
 		gosvm.WithCheckpointEvery(gosvm.Time(ckpt.Nanoseconds())),
-	}
-	if *meshNet || *linkLvl {
-		optFns = append(optFns, gosvm.WithMesh())
-	}
-	opts := gosvm.NewOptions(proto, optFns...)
+	)
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -90,7 +84,7 @@ func main() {
 		seqCh  chan struct{}
 	)
 	runSeq := func() {
-		s, err := gosvm.Sequential(mk(), *page)
+		s, err := gosvm.Sequential(mk(), mf.Page)
 		seq, seqErr = s, err
 	}
 	if !*noSeq && workers > 1 {
@@ -127,7 +121,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("%s / %s / %d nodes / %s problem\n", *appName, proto, *procs, *size)
+	fmt.Printf("%s / %s / %d nodes / %s problem\n", *appName, proto, machine.Nodes, *size)
 	fmt.Printf("parallel time: %.2f s (simulated)\n", res.Stats.Elapsed.Micros()/1e6)
 	if !*noSeq {
 		fmt.Printf("sequential:    %.2f s (simulated)\n", res.Stats.SeqTime.Micros()/1e6)
@@ -159,11 +153,11 @@ func main() {
 	fmt.Fprintf(tw, "  update traffic\t%.2f MB\n", float64(res.Stats.TotalBytes(stats.ClassData))/(1<<20))
 	fmt.Fprintf(tw, "  protocol traffic\t%.2f MB\n", float64(res.Stats.TotalBytes(stats.ClassProtocol))/(1<<20))
 	fmt.Fprintf(tw, "  peak protocol memory/node\t%.2f MB\n", float64(res.Stats.PeakProtoMem())/(1<<20))
-	fmt.Fprintf(tw, "  application memory/node\t%.2f MB\n", float64(res.Stats.TotalAppMem())/float64(*procs)/(1<<20))
+	fmt.Fprintf(tw, "  application memory/node\t%.2f MB\n", float64(res.Stats.TotalAppMem())/float64(machine.Nodes)/(1<<20))
 	tw.Flush()
 
-	if *faults != gosvm.FaultNone {
-		fmt.Printf("\nfault injection (profile %s, seed %d; per-node average):\n", *faults, *seed)
+	if ff.Profile != gosvm.FaultNone {
+		fmt.Printf("\nfault injection (profile %s, seed %d; per-node average):\n", ff.Profile, ff.Seed)
 		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintf(tw, "  messages dropped\t%d\n", avg.Counts.MsgsDropped)
 		if avg.Counts.LinkDrops > 0 {

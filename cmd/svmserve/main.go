@@ -24,6 +24,7 @@ import (
 
 	"gosvm/internal/apps"
 	"gosvm/internal/bench"
+	"gosvm/internal/cliflags"
 	"gosvm/internal/core"
 	"gosvm/internal/serve"
 	"gosvm/internal/sim"
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		procsFlag = flag.String("procs", "4,8", "machine sizes to sweep")
+		mf        = cliflags.AddMachineList(flag.CommandLine, "4,8", 4096)
 		protoFlag = flag.String("protocols", "", "protocol columns (default: lrc,olrc,hlrc,ohlrc; crash profile: hlrc,ohlrc)")
 		loadsFlag = flag.String("loads", "500,1000,2000,4000", "offered loads to sweep, total req/s across the machine")
 		windowMs  = flag.Float64("window-ms", 50, "arrival window in simulated milliseconds")
@@ -43,12 +44,10 @@ func main() {
 		arrival   = flag.String("arrival", "poisson", "arrival process: poisson or bursty (MMPP-2)")
 		burst     = flag.Float64("burst", 3, "bursty arrival burst-state rate multiplier")
 		serviceUs = flag.Float64("service-us", 5, "modeled per-op compute time, microseconds")
-		seed      = flag.Int64("seed", 1, "workload and fault-plan seed")
-		faults    = flag.String("faults", "", "fault profile composed over every cell (lossy, hostile, crash)")
-		page      = flag.Int("page", 4096, "page size in bytes")
-		parallel  = flag.Int("parallel", 0, "max concurrent cells (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+		ff        = cliflags.AddFaultBasic(flag.CommandLine, "")
+		parallel  = cliflags.AddParallel(flag.CommandLine)
 		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics (with latency histograms) here")
-		quiet     = flag.Bool("q", false, "suppress per-run progress")
+		quiet     = cliflags.AddQuiet(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -58,18 +57,19 @@ func main() {
 	}
 
 	r := bench.NewRunner(apps.SizeSmall)
-	r.PageBytes = *page
+	r.PageBytes = mf.Page
 	r.Parallel = *parallel
 	if !*quiet {
 		r.Progress = os.Stderr
 	}
-	var procs []int
-	for _, s := range strings.Split(*procsFlag, ",") {
-		p, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || p < 1 {
-			fail("bad -procs entry %q", s)
-		}
-		procs = append(procs, p)
+	shape, err := mf.Shape()
+	if err != nil {
+		fail("%v", err)
+	}
+	r.Machine = shape
+	procs, err := mf.ProcsList()
+	if err != nil {
+		fail("%v", err)
 	}
 	r.Procs = procs
 
@@ -118,15 +118,15 @@ func main() {
 		Arrival:     *arrival,
 		BurstFactor: *burst,
 		ServiceNs:   sim.Time(*serviceUs * float64(sim.Microsecond)),
-		Seed:        *seed,
+		Seed:        ff.Seed,
 	}
 
 	opts := bench.ServeSweepOpts{
 		Base:    cfg,
 		Loads:   loads,
 		Protos:  protos,
-		Profile: *faults,
-		Seed:    *seed,
+		Profile: ff.Profile,
+		Seed:    ff.Seed,
 	}
 	if err := r.ServeSweep(os.Stdout, opts, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -17,6 +17,7 @@ import (
 
 	"gosvm"
 	"gosvm/internal/apps"
+	"gosvm/internal/cliflags"
 	"gosvm/internal/trace"
 )
 
@@ -24,9 +25,8 @@ func main() {
 	var (
 		appName  = flag.String("app", "sor", "application: lu, sor, sor-zero, water-nsq, water-sp, raytrace, fft")
 		protoStr = flag.String("proto", gosvm.HLRC.String(), "protocol: lrc, olrc, hlrc, ohlrc, aurc")
-		procs    = flag.Int("procs", 4, "number of nodes")
+		mf       = cliflags.AddMachine(flag.CommandLine, 4, 4096)
 		size     = flag.String("size", "test", "problem size: test, small, paper")
-		page     = flag.Int("page", 4096, "page size in bytes")
 		limit    = flag.Int("limit", 100000, "maximum events to retain")
 		kindFlag = flag.String("kind", "", "only events of this kind")
 		nodeFlag = flag.Int("node", -1, "only events of this node")
@@ -40,6 +40,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	machine, err := mf.Machine()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	app, err := apps.New(*appName, apps.Size(*size))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -47,8 +52,8 @@ func main() {
 	}
 	res, err := gosvm.Run(gosvm.Options{
 		Protocol:   proto,
-		NumProcs:   *procs,
-		PageBytes:  *page,
+		Machine:    machine,
+		PageBytes:  mf.Page,
 		TraceLimit: *limit,
 	}, app)
 	if err != nil {

@@ -87,7 +87,7 @@ func main() {
 			app := &falseSharing{words: 4096, rounds: 3}
 			res, err := gosvm.Run(gosvm.Options{
 				Protocol:  proto,
-				NumProcs:  procs,
+				Machine:   gosvm.NewMachine(procs),
 				PageBytes: 4096,
 			}, app)
 			if err != nil {

@@ -67,9 +67,11 @@ func (a *piApp) Gather(c *gosvm.Ctx) []float64 {
 
 func main() {
 	// Functional options over the HLRC protocol (the paper's home-based
-	// protocol); gosvm.Options{...} literal construction works too.
+	// protocol); gosvm.Options{...} literal construction works too. The
+	// machine shape (size, topology, costs, barrier) travels as one
+	// gosvm.Machine value — see NewMachine's MachineOptions for the knobs.
 	opts := gosvm.NewOptions(gosvm.HLRC,
-		gosvm.WithProcs(8),
+		gosvm.WithMachine(gosvm.NewMachine(8)),
 		gosvm.WithPageBytes(4096),
 	)
 	res, err := gosvm.Run(opts, &piApp{steps: 1 << 20})
@@ -78,7 +80,7 @@ func main() {
 	}
 	fmt.Printf("pi ≈ %.10f\n", res.Data[0])
 	fmt.Printf("simulated parallel time: %.2f ms on %d nodes under %s\n",
-		res.Stats.Elapsed.Micros()/1e3, opts.NumProcs, opts.Protocol)
+		res.Stats.Elapsed.Micros()/1e3, opts.Machine.Nodes, opts.Protocol)
 	avg := res.Stats.AvgNode()
 	fmt.Printf("avg per-node: compute %.2f ms, barrier %.2f ms, data %.2f ms\n",
 		avg.Time[gosvm.CatCompute].Micros()/1e3,

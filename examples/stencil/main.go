@@ -116,7 +116,7 @@ func main() {
 		app := &stencil{h: 256, w: 256, iters: 20}
 		res, err := gosvm.Run(gosvm.Options{
 			Protocol:  proto,
-			NumProcs:  procs,
+			Machine:   gosvm.NewMachine(procs),
 			PageBytes: 4096,
 		}, app)
 		if err != nil {

@@ -114,7 +114,7 @@ func main() {
 	for _, proto := range gosvm.Protocols {
 		res, err := gosvm.Run(gosvm.Options{
 			Protocol:  proto,
-			NumProcs:  procs,
+			Machine:   gosvm.NewMachine(procs),
 			PageBytes: 4096,
 		}, &taskfarm{})
 		if err != nil {

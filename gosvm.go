@@ -90,6 +90,16 @@ type (
 	Time = sim.Time
 	// Costs is the machine cost model (the paper's Table 3).
 	Costs = paragon.Costs
+	// Machine describes the simulated multicomputer independently of the
+	// protocol: size, topology, cost profile, and barrier algorithm.
+	// Build one with NewMachine and install it with WithMachine (or set
+	// Options.Machine directly).
+	Machine = core.Machine
+	// Topology selects the network model (TopoCrossbar or TopoMesh).
+	Topology = core.Topology
+	// BarrierMode selects the barrier algorithm (BarrierAuto,
+	// BarrierCentral, or BarrierTree).
+	BarrierMode = core.BarrierMode
 	// RunStats aggregates per-node statistics for a run.
 	RunStats = stats.Run
 	// NodeStats holds one node's time breakdown, counters, traffic, and
@@ -175,6 +185,83 @@ func FaultProfile(name string, seed int64) (FaultPlan, error) {
 	return fault.Profile(name, seed)
 }
 
+// Topology names.
+const (
+	// TopoCrossbar is the default network model: every node pair has an
+	// independent latency/bandwidth wire.
+	TopoCrossbar = core.TopoCrossbar
+	// TopoMesh models the Paragon's 2-D wormhole mesh at link
+	// granularity (XY routing, per-hop latency, per-link occupancy).
+	TopoMesh = core.TopoMesh
+)
+
+// Barrier modes.
+const (
+	// BarrierAuto selects the centralized barrier up to BarrierCrossover
+	// nodes and the k-ary combining tree above it.
+	BarrierAuto = core.BarrierAuto
+	// BarrierCentral always uses the paper's single-manager barrier.
+	BarrierCentral = core.BarrierCentral
+	// BarrierTree always uses the hierarchical k-ary tree barrier.
+	BarrierTree = core.BarrierTree
+)
+
+// BarrierCrossover is the machine size above which BarrierAuto switches
+// from the centralized barrier to the tree.
+const BarrierCrossover = core.BarrierCrossover
+
+// ParseTopology validates a topology name.
+func ParseTopology(s string) (Topology, error) { return core.ParseTopology(s) }
+
+// ParseBarrierMode validates a barrier mode name.
+func ParseBarrierMode(s string) (BarrierMode, error) { return core.ParseBarrierMode(s) }
+
+// MachineOption is a functional setting for NewMachine.
+type MachineOption func(*Machine)
+
+// NewMachine builds a Machine of the given size, applying opts. Unset
+// fields keep their zero values and are defaulted at run time (crossbar
+// topology, Paragon costs, auto barrier selection), so a NewMachine
+// result composes cleanly with the Options-level WithCosts.
+func NewMachine(nodes int, opts ...MachineOption) Machine {
+	m := Machine{Nodes: nodes}
+	for _, fn := range opts {
+		fn(&m)
+	}
+	return m
+}
+
+// WithTopology selects the network model.
+func WithTopology(t Topology) MachineOption {
+	return func(m *Machine) { m.Topology = t }
+}
+
+// WithMeshDims selects the mesh topology with an explicit rows x cols
+// grid shape (rows*cols must equal the machine size). WithTopology(
+// TopoMesh) alone uses the most-square factorization.
+func WithMeshDims(rows, cols int) MachineOption {
+	return func(m *Machine) {
+		m.Topology = TopoMesh
+		m.MeshRows, m.MeshCols = rows, cols
+	}
+}
+
+// WithCostProfile sets the machine's basic-operation cost model (see
+// DefaultCosts, ModernCosts).
+func WithCostProfile(c Costs) MachineOption {
+	return func(m *Machine) { m.Costs = c }
+}
+
+// WithBarrier selects the barrier algorithm.
+func WithBarrier(mode BarrierMode) MachineOption {
+	return func(m *Machine) { m.Barrier = mode }
+}
+
+// WithBarrierRadix sets the tree barrier fan-in (default 8).
+func WithBarrierRadix(k int) MachineOption {
+	return func(m *Machine) { m.BarrierRadix = k }
+}
+
 // Option is a functional setting for NewOptions. Options remains a
 // plain struct — the two construction styles are interchangeable.
 type Option func(*Options)
@@ -189,7 +276,17 @@ func NewOptions(p Protocol, opts ...Option) Options {
 	return o
 }
 
+// WithMachine installs a Machine configuration (see NewMachine). It is
+// the preferred way to size and shape the simulated machine; explicitly
+// set Machine fields override the legacy WithProcs/WithMesh/WithCosts
+// settings.
+func WithMachine(m Machine) Option { return func(o *Options) { o.Machine = m } }
+
 // WithProcs sets the machine size (number of nodes).
+//
+// Deprecated: use WithMachine(NewMachine(n)). Kept as a thin wrapper
+// over the legacy Options.NumProcs field, which Options.Defaults
+// reconciles into Options.Machine.
 func WithProcs(n int) Option { return func(o *Options) { o.NumProcs = n } }
 
 // WithPageBytes sets the SVM page size in bytes.
@@ -212,6 +309,9 @@ func WithFaults(p FaultPlan) Option { return func(o *Options) { o.Fault = p } }
 // (XY routing, per-hop latency, per-link occupancy) instead of the
 // default crossbar. Plans with link-level faults (FaultPlan.LinkDrop,
 // LinkJitter, LinkFails) enable the mesh automatically.
+//
+// Deprecated: use WithMachine(NewMachine(n, WithTopology(TopoMesh))).
+// Kept as a thin wrapper over the legacy Options.Mesh field.
 func WithMesh() Option { return func(o *Options) { o.Mesh = true } }
 
 // WithReplication mirrors each home's page state onto its k successor
@@ -254,6 +354,17 @@ const (
 
 // DefaultCosts returns the reconstructed Paragon cost model.
 func DefaultCosts() Costs { return paragon.DefaultCosts() }
+
+// ModernCosts returns a cost profile resembling a contemporary cluster
+// (microsecond messaging, ~10us handler costs); see paragon.ModernCosts.
+func ModernCosts() Costs { return paragon.ModernCosts() }
+
+// CostProfiles lists the built-in cost profile names for CostProfile.
+var CostProfiles = paragon.CostProfiles
+
+// CostProfile returns a named built-in cost model: "paragon" (default)
+// or "modern".
+func CostProfile(name string) (Costs, error) { return paragon.CostProfile(name) }
 
 // Run executes app under opts and returns its results and statistics.
 func Run(opts Options, app App) (*Result, error) {

@@ -84,19 +84,26 @@ func (a *SOR) rowAddr(base mem.Addr, i int) mem.Addr {
 // sweep updates rows [lo,hi) of dst from src. On the physical grid, red
 // and black points interleave: the neighbors of dst[i][j] are src[i][j],
 // src[i][j +/- 1] (phase-dependent) and src[i-1][j], src[i+1][j].
+// Rows 0 and H-1 are fixed boundary rows (as columns 0 and hw-1 already
+// are): skipping them keeps every updated point's stencil fully in
+// bounds, so results are identical at any processor count — including
+// machines where a band is a single row and there is no previous loop
+// iteration to have filled the neighbor buffers.
 func (a *SOR) sweep(c *core.Ctx, dst, src mem.Addr, lo, hi int, phase int) {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > a.H-1 {
+		hi = a.H - 1
+	}
 	up := make([]float64, a.hw)
 	mid := make([]float64, a.hw)
 	down := make([]float64, a.hw)
 	out := make([]float64, a.hw)
 	for i := lo; i < hi; i++ {
 		c.ReadRange(a.rowAddr(src, i), mid)
-		if i > 0 {
-			c.ReadRange(a.rowAddr(src, i-1), up)
-		}
-		if i < a.H-1 {
-			c.ReadRange(a.rowAddr(src, i+1), down)
-		}
+		c.ReadRange(a.rowAddr(src, i-1), up)
+		c.ReadRange(a.rowAddr(src, i+1), down)
 		c.ReadRange(a.rowAddr(dst, i), out)
 		for j := 1; j < a.hw-1; j++ {
 			sum := mid[j] + up[j] + down[j]

@@ -29,8 +29,13 @@ type Runner struct {
 	Size        apps.Size
 	PageBytes   int
 	GCThreshold int64
-	Procs       []int     // machine sizes; the paper uses 8, 32, 64
-	Progress    io.Writer // optional progress log
+	Procs       []int // machine sizes; the paper uses 8, 32, 64
+	// Machine is the size-independent machine shape (topology, cost
+	// profile, barrier algorithm) applied to every cell; the node count
+	// is stamped per cell from the Procs axis. The zero value is the
+	// default crossbar Paragon.
+	Machine  core.Machine
+	Progress io.Writer // optional progress log
 	// Parallel caps how many simulation cells run concurrently on the
 	// host. 0 means GOMAXPROCS; 1 restores fully sequential execution.
 	// Results are independent of the setting (see the package comment).
@@ -93,12 +98,7 @@ func (r *Runner) Run(app string, proto core.Protocol, procs int) *core.Result {
 	if err != nil {
 		panic(err)
 	}
-	opts := core.Options{
-		Protocol:    proto,
-		NumProcs:    procs,
-		PageBytes:   r.PageBytes,
-		GCThreshold: r.GCThreshold,
-	}
+	opts := r.cellOpts(proto, procs)
 	r.acquire()
 	start := time.Now()
 	res, err := core.Run(opts, a, false)
@@ -110,6 +110,19 @@ func (r *Runner) Run(app string, proto core.Protocol, procs int) *core.Result {
 		app, proto, procs, res.Stats.Elapsed.Micros()/1e6, time.Since(start).Seconds())
 	e.res = res
 	return res
+}
+
+// cellOpts returns the run Options for one cell: the Runner's machine
+// shape stamped with the cell's node count.
+func (r *Runner) cellOpts(proto core.Protocol, procs int) core.Options {
+	m := r.Machine
+	m.Nodes = procs
+	return core.Options{
+		Protocol:    proto,
+		PageBytes:   r.PageBytes,
+		GCThreshold: r.GCThreshold,
+		Machine:     m,
+	}
 }
 
 // Seq returns the sequential baseline for app.

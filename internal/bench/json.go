@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// AppendJSON appends v to the JSON entry array at path, rewriting the
+// file. Existing entries are kept as raw bytes, so tools with different
+// entry shapes (svmperf trajectory entries, svmbench scale entries) can
+// share one file without dropping each other's fields. "-" encodes the
+// single entry to stdout instead.
+func AppendJSON(path string, v any) error {
+	enc := func(w io.Writer, x any) error {
+		j := json.NewEncoder(w)
+		j.SetIndent("", "  ")
+		return j.Encode(x)
+	}
+	if path == "-" {
+		return enc(os.Stdout, v)
+	}
+	var entries []json.RawMessage
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("bench: %s exists but is not a JSON entry array: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	raw, err := json.MarshalIndent(v, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	entries = append(entries, raw)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := enc(f, entries)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -159,13 +159,8 @@ func (r *Runner) runServe(base serve.Config, load float64, proto core.Protocol, 
 	if err != nil {
 		return nil, err
 	}
-	opts := core.Options{
-		Protocol:    proto,
-		NumProcs:    procs,
-		PageBytes:   r.PageBytes,
-		GCThreshold: r.GCThreshold,
-		Fault:       plan,
-	}
+	opts := r.cellOpts(proto, procs)
+	opts.Fault = plan
 	if len(plan.Crashes) > 0 {
 		opts.Recovery = core.Recovery{Replicas: 1}
 	}

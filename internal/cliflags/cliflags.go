@@ -1,0 +1,249 @@
+// Package cliflags factors the cmd/* binaries' shared flag surface —
+// machine shape, fault injection, execution control, and list parsing —
+// so a configuration means the same thing in every tool: -procs,
+// -topology, -costs, -barrier, -faults, and -seed are spelled and
+// interpreted identically in svmrun, svmbench, svmserve, svmperf,
+// svmtrace, and svmcosts.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gosvm/internal/core"
+	"gosvm/internal/fault"
+	"gosvm/internal/paragon"
+)
+
+// MachineFlags is the machine-shape flag group. Register it with
+// AddMachine (single-size tools) or AddMachineList (sweep tools whose
+// -procs is a comma-separated axis), then read the parsed configuration
+// with Machine or Shape/ProcsList after flag.Parse.
+type MachineFlags struct {
+	Procs     int    // single machine size (AddMachine)
+	ProcsCSV  string // machine-size axis (AddMachineList)
+	Topology  string
+	MeshDims  string
+	CostsName string
+	Barrier   string
+	Radix     int
+	Page      int
+	// Mesh is the deprecated boolean spelling of -topology mesh,
+	// registered only by AddMeshAlias.
+	Mesh bool
+}
+
+// AddMachine registers the single-machine flag group on fs: -procs,
+// -page, and the shape flags (-topology, -mesh-dims, -costs, -barrier,
+// -barrier-radix).
+func AddMachine(fs *flag.FlagSet, defProcs, defPage int) *MachineFlags {
+	m := &MachineFlags{}
+	fs.IntVar(&m.Procs, "procs", defProcs, "number of nodes")
+	m.addShape(fs, defPage)
+	return m
+}
+
+// AddMachineList registers the sweep variant: -procs is a
+// comma-separated list of machine sizes; the shape flags apply to every
+// size.
+func AddMachineList(fs *flag.FlagSet, defProcs string, defPage int) *MachineFlags {
+	m := &MachineFlags{}
+	fs.StringVar(&m.ProcsCSV, "procs", defProcs, "machine sizes to sweep (comma-separated)")
+	m.addShape(fs, defPage)
+	return m
+}
+
+func (m *MachineFlags) addShape(fs *flag.FlagSet, defPage int) {
+	fs.StringVar(&m.Topology, "topology", "",
+		`network model: "crossbar" (default) or "mesh" (2-D wormhole, XY routing, per-link contention)`)
+	fs.StringVar(&m.MeshDims, "mesh-dims", "",
+		`mesh grid as "RxC", e.g. 8x4 (implies -topology mesh; rows*cols must equal the machine size)`)
+	fs.StringVar(&m.CostsName, "costs", "",
+		`cost profile: "paragon" (default; the paper's Table 3) or "modern" (us-scale kernel-bypass messaging)`)
+	fs.StringVar(&m.Barrier, "barrier", "",
+		`barrier algorithm: "auto" (default; tree above 64 nodes), "central", or "tree"`)
+	fs.IntVar(&m.Radix, "barrier-radix", 0, "tree barrier fan-in (0 = default 8)")
+	fs.IntVar(&m.Page, "page", defPage, "page size in bytes")
+}
+
+// AddMeshAlias registers the deprecated -mesh boolean for tools that
+// documented it before -topology existed.
+func (m *MachineFlags) AddMeshAlias(fs *flag.FlagSet) {
+	fs.BoolVar(&m.Mesh, "mesh", false, "deprecated: alias for -topology mesh")
+}
+
+// Shape returns the size-independent machine configuration (topology,
+// cost profile, barrier algorithm). Nodes is left zero so sweep tools
+// can stamp it per cell.
+func (m *MachineFlags) Shape() (core.Machine, error) {
+	var mc core.Machine
+	if m.Topology != "" {
+		t, err := core.ParseTopology(m.Topology)
+		if err != nil {
+			return mc, err
+		}
+		mc.Topology = t
+	}
+	if m.Mesh && mc.Topology == "" {
+		mc.Topology = core.TopoMesh
+	}
+	if m.MeshDims != "" {
+		rows, cols, err := parseDims(m.MeshDims)
+		if err != nil {
+			return mc, err
+		}
+		mc.Topology = core.TopoMesh
+		mc.MeshRows, mc.MeshCols = rows, cols
+	}
+	if m.CostsName != "" {
+		costs, err := paragon.CostProfile(m.CostsName)
+		if err != nil {
+			return mc, err
+		}
+		mc.Costs = costs
+	}
+	if m.Barrier != "" {
+		b, err := core.ParseBarrierMode(m.Barrier)
+		if err != nil {
+			return mc, err
+		}
+		mc.Barrier = b
+	}
+	mc.BarrierRadix = m.Radix
+	return mc, nil
+}
+
+// Machine returns the full configuration of a single-size tool: Shape
+// plus -procs.
+func (m *MachineFlags) Machine() (core.Machine, error) {
+	mc, err := m.Shape()
+	if err != nil {
+		return mc, err
+	}
+	mc.Nodes = m.Procs
+	return mc, nil
+}
+
+// ProcsList parses the sweep tools' -procs axis.
+func (m *MachineFlags) ProcsList() ([]int, error) {
+	procs, err := Ints(m.ProcsCSV)
+	if err != nil {
+		return nil, fmt.Errorf("bad -procs: %w", err)
+	}
+	for _, p := range procs {
+		if p < 1 {
+			return nil, fmt.Errorf("bad -procs entry %d", p)
+		}
+	}
+	return procs, nil
+}
+
+func parseDims(s string) (rows, cols int, err error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) == 2 {
+		rows, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err == nil {
+			cols, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+		}
+		if err == nil && rows >= 1 && cols >= 1 {
+			return rows, cols, nil
+		}
+	}
+	return 0, 0, fmt.Errorf(`bad -mesh-dims %q: want "RxC", e.g. 8x4`, s)
+}
+
+// FaultFlags is the fault-injection flag group.
+type FaultFlags struct {
+	Profile     string
+	Seed        int64
+	LinkLevel   bool
+	AdaptiveRTO bool
+}
+
+// AddFault registers -faults and -seed plus the transport knobs
+// -link-level and -adaptive-rto.
+func AddFault(fs *flag.FlagSet, defProfile string) *FaultFlags {
+	f := AddFaultBasic(fs, defProfile)
+	fs.BoolVar(&f.LinkLevel, "link-level", false,
+		"render the fault profile at mesh-link granularity: loss and jitter roll per link crossing and correlate with XY routes (implies -topology mesh)")
+	fs.BoolVar(&f.AdaptiveRTO, "adaptive-rto", false,
+		"per-(src,dst)-edge Jacobson/Karels RTT estimation instead of the plan's fixed retransmission timeout")
+	return f
+}
+
+// AddFaultBasic registers only -faults and -seed (for sweep tools that
+// compose the plan per cell).
+func AddFaultBasic(fs *flag.FlagSet, defProfile string) *FaultFlags {
+	f := &FaultFlags{}
+	fs.StringVar(&f.Profile, "faults", defProfile, "fault profile: none, lossy, hostile, crash")
+	fs.Int64Var(&f.Seed, "seed", 1,
+		"seed for the fault plan and any seeded workload (apps initialize deterministically), so runs reproduce by construction")
+	return f
+}
+
+// Plan builds the fault plan for a machine of the given size.
+func (f *FaultFlags) Plan(nodes int) (fault.Plan, error) {
+	plan, err := fault.Profile(f.Profile, f.Seed)
+	if err != nil {
+		return plan, err
+	}
+	if f.LinkLevel {
+		plan = plan.AtLinkLevel(nodes)
+	}
+	plan.AdaptiveRTO = f.AdaptiveRTO
+	return plan, nil
+}
+
+// AddParallel registers the host-parallelism cap shared by the sweep
+// tools.
+func AddParallel(fs *flag.FlagSet) *int {
+	return fs.Int("parallel", 0,
+		"max concurrent simulations (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+}
+
+// AddQuiet registers -q.
+func AddQuiet(fs *flag.FlagSet) *bool {
+	return fs.Bool("q", false, "suppress per-run progress")
+}
+
+// Ints parses a comma-separated integer list.
+func Ints(csv string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q", s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// Floats parses a comma-separated float list.
+func Floats(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(csv, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q", s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"gosvm/internal/mem"
+)
+
+// oneWriterApp stores into a single page from node 0 each episode, then
+// everyone barriers. The active writer set is fixed, so per-sync-op
+// protocol work must not grow with machine size.
+func oneWriterApp(episodes int) *testApp {
+	var addr mem.Addr
+	return &testApp{
+		name:  "onewriter",
+		setup: func(s *Setup) { addr = s.Alloc(1) },
+		init: func(w *Init) {
+			w.Store(addr, 0)
+			w.SetHome(addr, 1, 0)
+		},
+		worker: func(c *Ctx, id int) {
+			for e := 0; e < episodes; e++ {
+				if id == 0 {
+					c.Store(addr, float64(e+1))
+				}
+				c.Barrier(e)
+			}
+		},
+		gather: func(c *Ctx) []float64 { return []float64{c.Load(addr)} },
+	}
+}
+
+// TestSyncOpAllocsFlatInNodeCount guards the scaling contract: the host
+// allocation COUNT per (node x barrier episode) stays constant as the
+// machine grows. Sparse vector clocks, the tree barrier, and lazily
+// materialized per-node state keep it O(1); a regression to dense
+// per-node vectors or eager state shows up as per-op allocations
+// scaling with the node count. (Allocation sizes may still grow — one
+// dense clock buffer is one allocation at any machine size.)
+func TestSyncOpAllocsFlatInNodeCount(t *testing.T) {
+	const episodes = 30
+	for _, proto := range []Protocol{ProtoHLRC, ProtoLRC} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			perOp := func(p int) float64 {
+				total := testing.AllocsPerRun(2, func() {
+					if _, err := Run(testOpts(proto, p), oneWriterApp(episodes), false); err != nil {
+						t.Fatal(err)
+					}
+				})
+				return total / float64(p*episodes)
+			}
+			// 8 nodes takes the centralized barrier, 96 the tree (auto
+			// crossover at 64), so both implementations are under guard.
+			small := perOp(8)
+			large := perOp(96)
+			if large > 1.6*small+2 {
+				t.Errorf("allocs per sync op grew with machine size: %.1f at p=8, %.1f at p=96", small, large)
+			}
+		})
+	}
+}

@@ -64,6 +64,11 @@ type base struct {
 	lastReported int32
 
 	bmgr *barrierMgr // non-nil on the barrier manager node
+
+	// tree is non-nil when the machine uses the k-ary tree barrier
+	// (treebarrier.go). The centralized manager above still exists on
+	// node 0 for the GC rendezvous.
+	tree *treeBarrier
 }
 
 type lockState struct {
@@ -85,12 +90,21 @@ func (b *base) init(sys *System, self int, co coherence) {
 	if self == barrierManager {
 		b.bmgr = newBarrierMgr(sys.Opts.NumProcs)
 	}
+	if sys.Opts.Machine.TreeBarrier() {
+		b.tree = newTreeBarrier(self, sys.Opts.Machine.BarrierRadix, sys.Opts.NumProcs)
+	}
 }
 
 func (b *base) costs() *paragon.Costs { return &b.sys.Opts.Costs }
-func (b *base) pool() *mem.Pool       { return b.sys.Space.Pool }
-func (b *base) st() *stats.Node       { return b.node.Stats }
-func (b *base) app() *sim.Proc        { return b.sys.appProcs[b.self] }
+
+// vecBytes is the protocol-memory charge for one per-page vector. The
+// accounting models the dense reservation (as the paper's prototypes
+// allocate) regardless of the host representation, so memory-triggered GC
+// behaves identically under vc.ForceDense.
+func (b *base) vecBytes() int64 { return int64(4 * b.sys.Opts.NumProcs) }
+func (b *base) pool() *mem.Pool { return b.sys.Space.Pool }
+func (b *base) st() *stats.Node { return b.node.Stats }
+func (b *base) app() *sim.Proc  { return b.sys.appProcs[b.self] }
 
 // use charges d of compute time on the application proc.
 func (b *base) use(d sim.Time, cat stats.Category) {
@@ -129,7 +143,7 @@ func (b *base) newIntervalRec() *IntervalRec {
 	rec := &IntervalRec{
 		Proc:     b.self,
 		Interval: b.clock[b.self],
-		VC:       b.clock.Copy(),
+		VC:       vc.SparseFrom(b.clock),
 		Pages:    b.dirty,
 	}
 	b.dirty = nil
@@ -462,7 +476,9 @@ func (b *base) Barrier(id int) {
 	}
 	var g *grantInfo
 	t0 := b.app().Now()
-	if b.self == barrierManager {
+	if b.tree != nil {
+		g = b.treeArrive(id, rep)
+	} else if b.self == barrierManager {
 		release := b.bmgrArrive(rep, paragon.Msg{})
 		if release == nil {
 			// Wait for the stragglers; the dispatcher completes the

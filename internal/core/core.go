@@ -96,6 +96,14 @@ type Options struct {
 	PageBytes int
 	Costs     paragon.Costs
 
+	// Machine describes the simulated multicomputer: size, topology,
+	// cost profile, and barrier algorithm. It is the preferred way to
+	// configure the machine; the flat NumProcs/Mesh/Costs fields above
+	// remain as a legacy view. Defaults reconciles the two: explicitly
+	// set Machine fields win, unset ones inherit the flat fields, and
+	// the result is mirrored back so both views agree.
+	Machine Machine
+
 	// GCThreshold is the per-node protocol memory (bytes) above which the
 	// homeless protocols garbage-collect at the next barrier. Zero means
 	// the TreadMarks-like default.
@@ -138,19 +146,27 @@ type Options struct {
 	Recovery Recovery
 }
 
-// Defaults fills unset fields.
+// Defaults fills unset fields and reconciles the Machine block with the
+// legacy flat machine fields (NumProcs, Mesh, Costs).
 func (o *Options) Defaults() {
 	if o.Protocol == "" {
 		o.Protocol = ProtoHLRC
 	}
-	if o.NumProcs == 0 {
-		o.NumProcs = 8
+	if o.Machine.Nodes == 0 {
+		o.Machine.Nodes = o.NumProcs
 	}
+	if o.Machine.Topology == "" && o.Mesh {
+		o.Machine.Topology = TopoMesh
+	}
+	if o.Machine.Costs == (paragon.Costs{}) {
+		o.Machine.Costs = o.Costs
+	}
+	o.Machine.Defaults()
+	o.NumProcs = o.Machine.Nodes
+	o.Mesh = o.Machine.Topology == TopoMesh
+	o.Costs = o.Machine.Costs
 	if o.PageBytes == 0 {
 		o.PageBytes = 4096
-	}
-	if o.Costs == (paragon.Costs{}) {
-		o.Costs = paragon.DefaultCosts()
 	}
 	if o.GCThreshold == 0 {
 		o.GCThreshold = 4 << 20
@@ -176,16 +192,21 @@ const (
 	kCkptNote               // home -> writers: checkpoint coverage (prune diff logs)
 	kRecoverPull            // new home -> writers: replay logged diffs
 	kNodeDead               // recovery -> all: node declared dead, homes moved
+	kBarrierUp              // tree barrier: child -> parent subtree report
+	kBarrierDown            // tree barrier: parent -> child subtree release
 )
 
 // IntervalRec is the write-notice record for one interval: the pages the
 // processor modified. In the homeless protocols the record carries the
 // full vector timestamp (needed to order diffs), which is the paper's
 // explanation for their metadata growth; the home-based protocols omit it.
+// The timestamp is stored sparsely: at large machine sizes only the
+// active writers have non-zero components, so both the wire and memory
+// cost are O(writers), not O(nodes).
 type IntervalRec struct {
 	Proc     int
 	Interval int32
-	VC       vc.VC // nil on the wire under HLRC/OHLRC
+	VC       *vc.Sparse // nil on the wire under HLRC/OHLRC
 	Pages    []int32
 }
 
@@ -281,6 +302,10 @@ func msgKindName(kind int) string {
 		return "recover-pull"
 	case kNodeDead:
 		return "node-dead"
+	case kBarrierUp:
+		return "barrier-up"
+	case kBarrierDown:
+		return "barrier-down"
 	}
 	return fmt.Sprintf("kind-%d", kind)
 }

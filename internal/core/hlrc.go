@@ -28,7 +28,7 @@ type hlrcEngine struct {
 	base
 	overlapped bool
 	aurc       bool
-	pages      []hlrcPage
+	pages      chunked[hlrcPage]
 
 	// Crash-recovery state (see recover.go). mirrors holds this node's
 	// replica copies of other homes' pages; dlog retains flushed diffs
@@ -45,10 +45,10 @@ type hlrcPage struct {
 	// is required to observe (from write notices) or has incorporated
 	// (from a home fetch). Nil means all-zero. This is the "vector of
 	// lock timestamps" sent with fetch requests.
-	seen vc.VC
+	seen *vc.Sparse
 
 	// Home-side state (only on the page's home node):
-	flushVC      vc.VC         // highest interval applied per writer
+	flushVC      *vc.Sparse    // highest interval applied per writer
 	pendingDiff  []*diffFlush  // diffs awaiting causal predecessors
 	pendingFetch []paragon.Msg // fetches awaiting flush coverage
 	waiters      []*sim.Proc   // local accesses waiting for coverage
@@ -61,26 +61,26 @@ type hlrcPage struct {
 
 type fetchPageReq struct {
 	Page int
-	Need vc.VC
+	Need *vc.Sparse
 }
 
 type fetchPageResp struct {
 	Data    []float64
-	FlushVC vc.VC
+	FlushVC *vc.Sparse
 }
 
 type diffFlush struct {
 	Page     int
 	Writer   int
 	Interval int32
-	Dep      vc.VC // per-page dependency: intervals that must be applied first
+	Dep      *vc.Sparse // per-page dependency: intervals that must be applied first
 	Diff     mem.Diff
 }
 
 type makeDiffReq struct {
 	Page     int
 	Interval int32
-	Dep      vc.VC
+	Dep      *vc.Sparse
 }
 
 func newHLRCEngine(sys *System, self int, overlapped bool) *hlrcEngine {
@@ -95,7 +95,7 @@ func newAURCEngine(sys *System, self int) *hlrcEngine {
 func newHomeEngine(sys *System, self int, overlapped, aurc bool) *hlrcEngine {
 	e := &hlrcEngine{overlapped: overlapped, aurc: aurc}
 	e.base.init(sys, self, e)
-	e.pages = make([]hlrcPage, sys.Space.NumPages())
+	e.pages = newChunked[hlrcPage](sys.Space.NumPages())
 	e.mirrors = make(map[int]*mirrorPage)
 	e.dlog = make(map[int][]*diffFlush)
 	e.ckptDirty = make(map[int]bool)
@@ -115,38 +115,25 @@ func (e *hlrcEngine) dataTarget() paragon.Target {
 }
 
 // seenOf returns the page's requirement vector, allocating lazily.
-func (e *hlrcEngine) seenOf(page int) vc.VC {
-	m := &e.pages[page]
+func (e *hlrcEngine) seenOf(page int) *vc.Sparse {
+	m := e.pages.at(page)
 	if m.seen == nil {
-		m.seen = vc.New(e.sys.Opts.NumProcs)
-		e.st().MemAlloc(int64(m.seen.WireSize()))
+		m.seen = vc.NewSparse(e.sys.Opts.NumProcs)
+		e.st().MemAlloc(e.vecBytes())
 	}
 	return m.seen
 }
 
-func (e *hlrcEngine) flushOf(page int) vc.VC {
-	m := &e.pages[page]
+func (e *hlrcEngine) flushOf(page int) *vc.Sparse {
+	m := e.pages.at(page)
 	if m.flushVC == nil {
-		m.flushVC = vc.New(e.sys.Opts.NumProcs)
-		e.st().MemAlloc(int64(m.flushVC.WireSize()))
+		m.flushVC = vc.NewSparse(e.sys.Opts.NumProcs)
+		e.st().MemAlloc(e.vecBytes())
 	}
 	return m.flushVC
 }
 
-func covers(v, need vc.VC) bool {
-	if need == nil {
-		return true
-	}
-	if v == nil {
-		for _, x := range need {
-			if x > 0 {
-				return false
-			}
-		}
-		return true
-	}
-	return v.Covers(need)
-}
+func covers(v, need *vc.Sparse) bool { return v.Covers(need) }
 
 // ---------------------------------------------------------------------------
 // Faults
@@ -155,7 +142,7 @@ func (e *hlrcEngine) ReadFault(page int) {
 	e.use(e.costs().PageFault, stats.CatData)
 	e.st().Counts.ReadMisses++
 	e.emit(trace.ReadMiss, page, -1, 0)
-	m := &e.pages[page]
+	m := e.pages.at(page)
 	t0 := e.app().Now()
 	for e.home(page) == e.self {
 		// The home's copy is always present; an "invalid" state here just
@@ -195,7 +182,7 @@ func (e *hlrcEngine) WriteFault(page int) {
 	if p.State == mem.Invalid {
 		e.ReadFault(page)
 	}
-	m := &e.pages[page]
+	m := e.pages.at(page)
 	for m.inflight {
 		// Overlapped: the twin is still feeding the co-processor's diff.
 		m.twinWaiter = append(m.twinWaiter, e.app())
@@ -265,14 +252,14 @@ func (e *hlrcEngine) closeCommit() {
 		pg := int(pg32)
 		p := e.pt.Page(pg)
 		p.State = mem.ReadOnly
-		m := &e.pages[pg]
-		dep := e.pages[pg].seen.Copy() // nil-safe: Copy of nil is empty
+		m := e.pages.at(pg)
+		dep := e.pages.at(pg).seen.Copy() // nil-safe: Copy of nil is nil (all-zero)
 		if dep == nil {
-			dep = vc.New(e.sys.Opts.NumProcs)
+			dep = vc.NewSparse(e.sys.Opts.NumProcs)
 		}
 		seen := e.seenOf(pg)
 		if e.home(pg) == e.self {
-			seen[e.self] = rec.Interval
+			seen.Set(e.self, rec.Interval)
 			if e.recovering() && !e.aurc && p.Twin != nil {
 				// The home's own writes must reach the replicas: diff
 				// against the twin and run the self-flush path, which
@@ -296,11 +283,11 @@ func (e *hlrcEngine) closeCommit() {
 				continue
 			}
 			f := e.flushOf(pg)
-			f[e.self] = rec.Interval
+			f.Set(e.self, rec.Interval)
 			e.homeDrain(pg)
 			continue
 		}
-		seen[e.self] = rec.Interval
+		seen.Set(e.self, rec.Interval)
 		if e.aurc {
 			// The hardware already streamed the writes home; the message
 			// models their aggregate write-through traffic.
@@ -365,13 +352,11 @@ func (e *hlrcEngine) sendDiff(df *diffFlush) {
 
 func (e *hlrcEngine) noticePage(rec *IntervalRec, page int) sim.Time {
 	seen := e.seenOf(page)
-	if rec.Interval > seen[rec.Proc] {
-		seen[rec.Proc] = rec.Interval
-	}
+	seen.RaiseTo(rec.Proc, rec.Interval)
 	p := e.pt.Page(page)
 	if e.home(page) == e.self {
 		// The home never discards its copy; accesses wait for coverage.
-		if !covers(e.pages[page].flushVC, seen) && p.State != mem.ReadWrite {
+		if !covers(e.pages.at(page).flushVC, seen) && p.State != mem.ReadWrite {
 			p.State = mem.Invalid
 			return e.costs().PageInval
 		}
@@ -406,6 +391,10 @@ func (e *hlrcEngine) handleCompute(m paragon.Msg) (sim.Time, func()) {
 		return e.handleLockFwd(m)
 	case kBarrier:
 		return e.handleBarrier(m)
+	case kBarrierUp:
+		return e.handleBarrierUp(m)
+	case kBarrierDown:
+		return e.handleBarrierDown(m)
 	case kFetchPage:
 		return e.handleFetchPage(m)
 	case kDiffFlush:
@@ -442,6 +431,10 @@ func (e *hlrcEngine) handleCoproc(m paragon.Msg) (sim.Time, func()) {
 		return e.handleLockFwd(m)
 	case kBarrier:
 		return e.handleBarrier(m)
+	case kBarrierUp:
+		return e.handleBarrierUp(m)
+	case kBarrierDown:
+		return e.handleBarrierDown(m)
 	}
 	return badKind(m.Kind)
 }
@@ -456,7 +449,7 @@ func (e *hlrcEngine) handleMakeDiff(m paragon.Msg) (sim.Time, func()) {
 		e.st().MemFree(int64(e.sys.Space.PageBytes()))
 		e.st().Counts.DiffsCreated++
 		e.emit(trace.DiffCreate, req.Page, -1, int64(diff.WireSize()))
-		pm := &e.pages[req.Page]
+		pm := e.pages.at(req.Page)
 		pm.inflight = false
 		for _, w := range pm.twinWaiter {
 			w.Unpark()
@@ -508,7 +501,7 @@ func (e *hlrcEngine) homeReceiveDiff(df *diffFlush) {
 	}
 	f := e.flushOf(df.Page)
 	if !covers(f, df.Dep) {
-		m := &e.pages[df.Page]
+		m := e.pages.at(df.Page)
 		m.pendingDiff = append(m.pendingDiff, df)
 		return
 	}
@@ -520,9 +513,7 @@ func (e *hlrcEngine) homeApply(df *diffFlush) {
 	p := e.pt.Page(df.Page)
 	df.Diff.Apply(p.Data)
 	f := e.flushOf(df.Page)
-	if df.Interval > f[df.Writer] {
-		f[df.Writer] = df.Interval
-	}
+	f.RaiseTo(df.Writer, df.Interval)
 	e.st().Counts.DiffsApplied++
 	e.emit(trace.DiffApply, df.Page, df.Writer, int64(df.Diff.Words()))
 	if e.sys.rec == nil {
@@ -537,7 +528,7 @@ func (e *hlrcEngine) homeApply(df *diffFlush) {
 // homeDrain retries pending diffs, fetches, and local waiters for a page
 // after the flush vector advanced.
 func (e *hlrcEngine) homeDrain(page int) {
-	m := &e.pages[page]
+	m := e.pages.at(page)
 	f := e.flushOf(page)
 	for progress := true; progress; {
 		progress = false
@@ -587,11 +578,11 @@ func (e *hlrcEngine) handleFetchPage(m paragon.Msg) (sim.Time, func()) {
 			e.node.Send(e.home(fr.Page), m)
 			return
 		}
-		if covers(e.pages[fr.Page].flushVC, fr.Need) {
+		if covers(e.pages.at(fr.Page).flushVC, fr.Need) {
 			e.respondFetch(m, fr)
 			return
 		}
-		pm := &e.pages[fr.Page]
+		pm := e.pages.at(fr.Page)
 		pm.pendingFetch = append(pm.pendingFetch, m)
 	}
 }
@@ -615,13 +606,12 @@ func (e *hlrcEngine) Finish() {
 	if len(e.dirty) > 0 {
 		panic(fmt.Sprintf("core: node %d finished with %d dirty pages (missing final barrier?)", e.self, len(e.dirty)))
 	}
-	for pg := range e.pages {
-		m := &e.pages[pg]
+	e.pages.each(func(pg int, m *hlrcPage) {
 		for m.inflight {
 			m.twinWaiter = append(m.twinWaiter, e.app())
 			e.app().ParkArg("finish: diff in flight page", int64(pg))
 		}
-	}
+	})
 	for l, ls := range e.locks {
 		if ls.held {
 			panic(fmt.Sprintf("core: node %d finished holding lock %d", e.self, l))

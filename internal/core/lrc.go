@@ -22,7 +22,7 @@ type lrcEngine struct {
 	base
 	overlapped bool
 	eager      bool
-	pages      []lrcPage
+	pages      chunked[lrcPage]
 	// diffs holds the diffs this node created or fetched (TreadMarks
 	// caches fetched diffs so that, for migratory data, a single request
 	// to the last writer returns the whole chain), keyed by
@@ -41,13 +41,16 @@ type lrcPage struct {
 	wns []pageWN // write notices not yet reflected in the local copy
 	// appliedVC[j] is the highest interval of writer j incorporated into
 	// the local Data copy. Nil until a copy exists. Homeless protocols
-	// carry these full per-page vectors — part of their memory story.
-	appliedVC vc.VC
+	// carry these per-page vectors — part of their memory story.
+	appliedVC *vc.Sparse
 	// pending is the own closed interval whose diff has not been created
 	// yet (lazy diffing); the twin is still alive.
 	pending *IntervalRec
-	// copyHolder is the node to ask for a full copy.
-	copyHolder int
+	// holder is the last known node holding a full copy, stored as
+	// node+1. Zero means "never updated", which resolves to the page's
+	// home (where the initial copy is seeded) without having to
+	// materialize per-page state for the whole address space.
+	holder int32
 	// inflight marks an OLRC diff computation in progress on the coproc.
 	inflight   bool
 	twinWaiter []*sim.Proc
@@ -72,7 +75,7 @@ type lrcFetchPageReq struct {
 
 type lrcFetchPageResp struct {
 	Data      []float64 // nil if the holder has no copy
-	AppliedVC vc.VC
+	AppliedVC *vc.Sparse
 	Hint      int // where to retry when Data is nil
 }
 
@@ -85,10 +88,7 @@ func newLRCEngine(sys *System, self int, overlapped bool) *lrcEngine {
 		diffs:      make(map[diffKey]*mem.Diff),
 	}
 	e.base.init(sys, self, e)
-	e.pages = make([]lrcPage, sys.Space.NumPages())
-	for pg := range e.pages {
-		e.pages[pg].copyHolder = sys.homes[pg] // seed owner
-	}
+	e.pages = newChunked[lrcPage](sys.Space.NumPages())
 	e.node.InstallCompute(e.handleCompute)
 	e.node.InstallCoproc(e.handleCoproc)
 	if self == barrierManager {
@@ -110,6 +110,15 @@ func (e *lrcEngine) dataTarget() paragon.Target {
 		return paragon.ToCoproc
 	}
 	return paragon.ToCompute
+}
+
+// holderOf resolves the copy-holder hint for page: the recorded holder,
+// or the page's home while no hint has been recorded.
+func (e *lrcEngine) holderOf(page int) int {
+	if h := e.pages.at(page).holder; h != 0 {
+		return int(h) - 1
+	}
+	return e.sys.homes[page]
 }
 
 // ---------------------------------------------------------------------------
@@ -149,7 +158,7 @@ func (e *lrcEngine) WriteFault(page int) {
 // them in causal order. waitCat classifies the stall time (data transfer
 // during normal faults, GC during garbage-collection validation).
 func (e *lrcEngine) bringUpToDate(page int, waitCat stats.Category) {
-	m := &e.pages[page]
+	m := e.pages.at(page)
 	e.commitOwnDiff(page, true)
 	p := e.pt.Page(page)
 
@@ -162,7 +171,7 @@ func (e *lrcEngine) bringUpToDate(page int, waitCat stats.Category) {
 	// Discard notices already reflected in the base copy.
 	live := m.wns[:0]
 	for _, wn := range m.wns {
-		if wn.rec.Interval <= m.appliedVC[wn.rec.Proc] {
+		if wn.rec.Interval <= m.appliedVC.Get(wn.rec.Proc) {
 			e.st().MemFree(wnEntryBytes)
 			continue
 		}
@@ -250,9 +259,7 @@ func (e *lrcEngine) bringUpToDate(page int, waitCat stats.Category) {
 		cost += e.costs().DiffApplyCost(wn.diff.Words())
 		e.emit(trace.DiffApply, page, s.Proc, int64(wn.diff.Words()))
 		wn.diff.Apply(p.Data)
-		if s.Interval > m.appliedVC[s.Proc] {
-			m.appliedVC[s.Proc] = s.Interval
-		}
+		m.appliedVC.RaiseTo(s.Proc, s.Interval)
 		e.st().Counts.DiffsApplied++
 		e.st().MemFree(wnEntryBytes)
 	}
@@ -262,8 +269,8 @@ func (e *lrcEngine) bringUpToDate(page int, waitCat stats.Category) {
 
 // fetchBaseCopy obtains a full page copy, chasing holder hints.
 func (e *lrcEngine) fetchBaseCopy(page int, waitCat stats.Category) {
-	m := &e.pages[page]
-	holder := m.copyHolder
+	m := e.pages.at(page)
+	holder := e.holderOf(page)
 	for tries := 0; ; tries++ {
 		if tries > 2*e.sys.Opts.NumProcs {
 			panic(fmt.Sprintf("core: node %d cannot locate a copy of page %d", e.self, page))
@@ -284,9 +291,11 @@ func (e *lrcEngine) fetchBaseCopy(page int, waitCat stats.Category) {
 		}
 		p := e.pt.Materialize(page)
 		copy(p.Data, pr.Data)
+		// appliedVC is nil whenever Data is nil (GC frees them together),
+		// so merging into the fresh zero vector equals replacement.
 		e.ensureAppliedVC(page)
-		copy(m.appliedVC, pr.AppliedVC)
-		m.copyHolder = holder
+		m.appliedVC.MaxWith(pr.AppliedVC)
+		m.holder = int32(holder) + 1
 		e.st().Counts.PagesFetched++
 		e.emit(trace.PageFetch, page, holder, 0)
 		return
@@ -296,17 +305,17 @@ func (e *lrcEngine) fetchBaseCopy(page int, waitCat stats.Category) {
 // ensureAppliedVC lazily allocates the page's applied-interval vector
 // (all zeros: the seed image reflects no intervals).
 func (e *lrcEngine) ensureAppliedVC(page int) {
-	m := &e.pages[page]
+	m := e.pages.at(page)
 	if m.appliedVC == nil {
-		m.appliedVC = vc.New(e.sys.Opts.NumProcs)
-		e.st().MemAlloc(int64(m.appliedVC.WireSize()))
+		m.appliedVC = vc.NewSparse(e.sys.Opts.NumProcs)
+		e.st().MemAlloc(e.vecBytes())
 	}
 }
 
 // commitOwnDiff materializes the lazy diff of a previously closed interval
 // (and, under OLRC, waits out an in-flight co-processor diff).
 func (e *lrcEngine) commitOwnDiff(page int, charge bool) {
-	m := &e.pages[page]
+	m := e.pages.at(page)
 	for m.inflight {
 		m.twinWaiter = append(m.twinWaiter, e.app())
 		e.app().ParkArg("lrc twin busy page", int64(page))
@@ -378,7 +387,7 @@ func (e *lrcEngine) closeCommit() {
 		pg := int(pg32)
 		p := e.pt.Page(pg)
 		p.State = mem.ReadOnly
-		m := &e.pages[pg]
+		m := e.pages.at(pg)
 		switch {
 		case e.overlapped:
 			m.inflight = true
@@ -393,7 +402,7 @@ func (e *lrcEngine) closeCommit() {
 		}
 		// Our copy now reflects our own new interval.
 		e.ensureAppliedVC(pg)
-		m.appliedVC[e.self] = rec.Interval
+		m.appliedVC.Set(e.self, rec.Interval)
 	}
 }
 
@@ -401,10 +410,10 @@ func (e *lrcEngine) closeCommit() {
 // Write notices
 
 func (e *lrcEngine) noticePage(rec *IntervalRec, page int) sim.Time {
-	m := &e.pages[page]
+	m := e.pages.at(page)
 	m.wns = append(m.wns, pageWN{rec: rec})
 	e.st().MemAlloc(wnEntryBytes)
-	m.copyHolder = rec.Proc // last-writer hint
+	m.holder = int32(rec.Proc) + 1 // last-writer hint
 	p := e.pt.Page(page)
 	if p.State == mem.Invalid {
 		return 0
@@ -452,12 +461,12 @@ func (e *lrcEngine) runGC() {
 		}
 	}
 
-	for pg := 0; pg < len(e.pages); pg++ {
+	for pg := 0; pg < e.pages.len(); pg++ {
 		w, ok := last[pg]
 		if !ok {
 			continue // untouched since the previous collection
 		}
-		m := &e.pages[pg]
+		m := e.pages.at(pg)
 		if w.proc == e.self {
 			// Validate: bring our copy fully up to date.
 			e.bringUpToDate(pg, stats.CatGC)
@@ -465,7 +474,7 @@ func (e *lrcEngine) runGC() {
 				e.pt.Page(pg).State = mem.ReadOnly
 			}
 		}
-		m.copyHolder = w.proc
+		m.holder = int32(w.proc) + 1
 	}
 
 	// Wait until every node finished validating before discarding diffs.
@@ -474,12 +483,12 @@ func (e *lrcEngine) runGC() {
 	e.st().Add(stats.CatGC, e.app().Now()-t0)
 
 	// Discard protocol data.
-	for pg := 0; pg < len(e.pages); pg++ {
+	for pg := 0; pg < e.pages.len(); pg++ {
 		w, ok := last[pg]
 		if !ok {
 			continue
 		}
-		m := &e.pages[pg]
+		m := e.pages.at(pg)
 		for m.inflight {
 			m.twinWaiter = append(m.twinWaiter, e.app())
 			e.app().ParkArg("gc twin busy page", int64(pg))
@@ -501,7 +510,7 @@ func (e *lrcEngine) runGC() {
 				p.State = mem.Invalid
 				p.Data = nil
 				if m.appliedVC != nil {
-					e.st().MemFree(int64(m.appliedVC.WireSize()))
+					e.st().MemFree(e.vecBytes())
 					m.appliedVC = nil
 				}
 			}
@@ -526,6 +535,10 @@ func (e *lrcEngine) handleCompute(m paragon.Msg) (sim.Time, func()) {
 		return e.handleLockFwd(m)
 	case kBarrier:
 		return e.handleBarrier(m)
+	case kBarrierUp:
+		return e.handleBarrierUp(m)
+	case kBarrierDown:
+		return e.handleBarrierDown(m)
 	case kGCDone:
 		return e.handleGCDone(m)
 	case kFetchDiffs:
@@ -552,6 +565,10 @@ func (e *lrcEngine) handleCoproc(m paragon.Msg) (sim.Time, func()) {
 		return e.handleLockFwd(m)
 	case kBarrier:
 		return e.handleBarrier(m)
+	case kBarrierUp:
+		return e.handleBarrierUp(m)
+	case kBarrierDown:
+		return e.handleBarrierDown(m)
 	case kGCDone:
 		return e.handleGCDone(m)
 	}
@@ -564,7 +581,7 @@ func (e *lrcEngine) handleMakeDiff(m paragon.Msg) (sim.Time, func()) {
 	return e.costs().DiffCreateCost(e.sys.Space.PageWords), func() {
 		req := m.Body.(*makeDiffReq)
 		e.materializeDiff(req.Page, req.Interval)
-		pm := &e.pages[req.Page]
+		pm := e.pages.at(req.Page)
 		pm.inflight = false
 		for _, w := range pm.twinWaiter {
 			w.Unpark()
@@ -582,10 +599,10 @@ func (e *lrcEngine) handleMakeDiff(m paragon.Msg) (sim.Time, func()) {
 // created on demand; OLRC requests for an in-flight diff are queued.
 func (e *lrcEngine) handleFetchDiffs(m paragon.Msg) (sim.Time, func()) {
 	req := m.Body.(*fetchDiffsReq)
-	pm := &e.pages[req.Page]
+	pm := e.pages.at(req.Page)
 	if pm.inflight {
 		return 0, func() {
-			e.pages[req.Page].pendingReqs = append(e.pages[req.Page].pendingReqs, m)
+			e.pages.at(req.Page).pendingReqs = append(e.pages.at(req.Page).pendingReqs, m)
 		}
 	}
 	var work sim.Time
@@ -597,7 +614,7 @@ func (e *lrcEngine) handleFetchDiffs(m paragon.Msg) (sim.Time, func()) {
 		}
 	}
 	return work, func() {
-		pm := &e.pages[req.Page]
+		pm := e.pages.at(req.Page)
 		if pm.pending != nil {
 			e.materializeDiff(req.Page, pm.pending.Interval)
 			pm.pending = nil
@@ -648,13 +665,13 @@ func (e *lrcEngine) handleFetchPage(m paragon.Msg) (sim.Time, func()) {
 	return 0, func() {
 		req := m.Body.(*lrcFetchPageReq)
 		p := e.pt.Page(req.Page)
-		pm := &e.pages[req.Page]
+		pm := e.pages.at(req.Page)
 		if p.Data == nil {
 			e.node.Respond(m, paragon.Msg{
 				Kind:  kFetchPage,
 				Size:  12,
 				Class: stats.ClassProtocol,
-				Body:  &lrcFetchPageResp{Hint: pm.copyHolder},
+				Body:  &lrcFetchPageResp{Hint: e.holderOf(req.Page)},
 			})
 			return
 		}
@@ -676,13 +693,12 @@ func (e *lrcEngine) Finish() {
 	if len(e.dirty) > 0 {
 		panic(fmt.Sprintf("core: node %d finished with %d dirty pages (missing final barrier?)", e.self, len(e.dirty)))
 	}
-	for pg := range e.pages {
-		m := &e.pages[pg]
+	e.pages.each(func(pg int, m *lrcPage) {
 		for m.inflight {
 			m.twinWaiter = append(m.twinWaiter, e.app())
 			e.app().ParkArg("finish: diff in flight page", int64(pg))
 		}
-	}
+	})
 	for l, ls := range e.locks {
 		if ls.held {
 			panic(fmt.Sprintf("core: node %d finished holding lock %d", e.self, l))

@@ -41,7 +41,7 @@ type mirrorPage struct {
 	// diffs arriving earlier are parked rather than applied to nothing.
 	seeded  bool
 	data    []float64
-	vc      vc.VC
+	vc      *vc.Sparse
 	pending []*diffFlush
 }
 
@@ -51,13 +51,13 @@ type mirrorMsg struct {
 	Diff *diffFlush // non-nil: mirrored diff
 	Page int        // checkpoint form:
 	Data []float64
-	VC   vc.VC
+	VC   *vc.Sparse
 }
 
 // ckptEntry tells writers which of their diffs a checkpoint covers.
 type ckptEntry struct {
 	Page int
-	VC   vc.VC
+	VC   *vc.Sparse
 }
 
 type ckptNote struct {
@@ -392,9 +392,9 @@ func (e *hlrcEngine) handleMirror(m paragon.Msg) (sim.Time, func()) {
 	}
 }
 
-func (e *hlrcEngine) mirrorVC(mp *mirrorPage) vc.VC {
+func (e *hlrcEngine) mirrorVC(mp *mirrorPage) *vc.Sparse {
 	if mp.vc == nil {
-		mp.vc = vc.New(e.sys.Opts.NumProcs)
+		mp.vc = vc.NewSparse(e.sys.Opts.NumProcs)
 	}
 	return mp.vc
 }
@@ -406,9 +406,7 @@ func (e *hlrcEngine) mirrorApply(df *diffFlush) {
 		return
 	}
 	df.Diff.Apply(mp.data)
-	if df.Interval > mp.vc[df.Writer] {
-		mp.vc[df.Writer] = df.Interval
-	}
+	mp.vc.RaiseTo(df.Writer, df.Interval)
 	e.drainMirror(mp)
 }
 
@@ -423,9 +421,7 @@ func (e *hlrcEngine) drainMirror(mp *mirrorPage) {
 			if df != nil && covers(f, df.Dep) {
 				mp.pending[i] = nil
 				df.Diff.Apply(mp.data)
-				if df.Interval > f[df.Writer] {
-					f[df.Writer] = df.Interval
-				}
+				f.RaiseTo(df.Writer, df.Interval)
 				progress = true
 			}
 		}
@@ -466,7 +462,7 @@ func (e *hlrcEngine) installCkptAsHome(mm *mirrorMsg) {
 // reset to the mirror image so the eventual diff captures exactly those
 // writes. Parked requests at the old home migrate here.
 func (e *hlrcEngine) adoptPage(pg int, old *hlrcEngine) {
-	m := &e.pages[pg]
+	m := e.pages.at(pg)
 	mp := e.mirrorOf(pg)
 	p := e.pt.Materialize(pg)
 	if !mp.seeded {
@@ -502,7 +498,7 @@ func (e *hlrcEngine) adoptPage(pg int, old *hlrcEngine) {
 	}
 	// Fetches parked at the dead home move here: the requesters' reply
 	// ports are still live, so answers flow straight back to them.
-	om := &old.pages[pg]
+	om := old.pages.at(pg)
 	m.pendingFetch = append(m.pendingFetch, om.pendingFetch...)
 	om.pendingFetch = nil
 	om.pendingDiff = nil
@@ -623,7 +619,7 @@ func (e *hlrcEngine) handleCkptNote(m paragon.Msg) (sim.Time, func()) {
 			}
 			keep := dl[:0]
 			for _, df := range dl {
-				if df.Interval > ent.VC[e.self] {
+				if df.Interval > ent.VC.Get(e.self) {
 					keep = append(keep, df)
 				} else {
 					e.st().MemFree(df.Diff.MemSize())
@@ -671,7 +667,7 @@ func (e *hlrcEngine) handleRecoverPull(m paragon.Msg) (sim.Time, func()) {
 		pull := m.Body.(*recoverPull)
 		for _, ent := range pull.Entries {
 			for _, df := range e.dlog[ent.Page] {
-				if df.Interval > ent.VC[e.self] {
+				if df.Interval > ent.VC.Get(e.self) {
 					e.sendDiff(df)
 				}
 			}
@@ -684,25 +680,28 @@ func (e *hlrcEngine) handleRecoverPull(m paragon.Msg) (sim.Time, func()) {
 // their twins) survive as private worker state and flush to the pages'
 // current homes at the next interval close.
 func (e *hlrcEngine) wipeVolatile() {
-	for pg := range e.pages {
-		m := &e.pages[pg]
-		p := e.pt.Page(pg)
+	e.pages.each(func(pg int, m *hlrcPage) {
 		// No page is homed here anymore (re-homing ran first).
 		if m.flushVC != nil {
-			e.st().MemFree(int64(m.flushVC.WireSize()))
+			e.st().MemFree(e.vecBytes())
 			m.flushVC = nil
 		}
 		m.pendingDiff = nil
 		m.pendingFetch = nil
-		if p.State == mem.ReadOnly {
-			p.State = mem.Invalid
-		}
 		// Home-wait parkers must re-evaluate: the page's home moved.
 		for _, w := range m.waiters {
 			w.Unpark()
 		}
 		m.waiters = nil
-	}
+	})
+	// Cached read-only copies are gone too. This follows the page table,
+	// not the protocol state: seeded initial copies exist on nodes whose
+	// protocol state was never touched.
+	e.pt.Each(func(pg int, p *mem.Page) {
+		if p.State == mem.ReadOnly {
+			p.State = mem.Invalid
+		}
+	})
 	for pg, mp := range e.mirrors {
 		if mp.data != nil {
 			e.st().MemFree(int64(e.sys.Space.PageBytes()))
@@ -717,9 +716,7 @@ func (e *hlrcEngine) wipeVolatile() {
 // both recovery modes (the home's writes exist nowhere else).
 func (e *hlrcEngine) homeSelfFlush(df *diffFlush) {
 	f := e.flushOf(df.Page)
-	if df.Interval > f[df.Writer] {
-		f[df.Writer] = df.Interval
-	}
+	f.RaiseTo(df.Writer, df.Interval)
 	e.ckptDirty[df.Page] = true
 	e.mirrorDiff(df)
 	e.homeDrain(df.Page)

@@ -122,6 +122,9 @@ type Result struct {
 // statistics.
 func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 	opts.Defaults()
+	if err := opts.Machine.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Protocol == ProtoSeq && opts.NumProcs != 1 {
 		return nil, fmt.Errorf("core: sequential runs require NumProcs=1, got %d", opts.NumProcs)
 	}
@@ -131,7 +134,11 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 	if opts.Mesh || opts.Fault.LinkLevel() {
 		// Link-level faults are defined on mesh links, so they imply the
 		// link-granularity network model.
-		machine.EnableMesh(0)
+		if opts.Machine.MeshRows > 0 {
+			machine.EnableMeshDims(0, opts.Machine.MeshRows, opts.Machine.MeshCols)
+		} else {
+			machine.EnableMesh(0)
+		}
 	}
 	var inj *fault.Injector
 	if opts.Fault.Active() {
@@ -178,10 +185,13 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 	app.Init(&Init{sys: sys, P: opts.NumProcs})
 
 	// Phase 3: page tables and engines.
+	// Page tables and protocol state materialize lazily on first touch
+	// (chunked storage, stable entry pointers): at 1024 nodes each node
+	// references only its sliver of the address space, and allocating
+	// n_nodes * n_pages entries eagerly would dominate host memory.
 	sys.Tables = make([]*mem.Table, opts.NumProcs)
 	for i := range sys.Tables {
 		sys.Tables[i] = mem.NewTable(space)
-		sys.Tables[i].Page(npages - 1) // pre-size: stable entry pointers
 	}
 	sys.Engines = make([]Engine, opts.NumProcs)
 	for i := range sys.Engines {

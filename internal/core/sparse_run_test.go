@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gosvm/internal/vc"
+)
+
+// fingerprint renders every observable of a run — elapsed time, gathered
+// data, and the complete per-node statistics — into one comparable string.
+func fingerprint(res *Result) string {
+	out := fmt.Sprintf("elapsed=%d data=%v\n", res.Stats.Elapsed, res.Data)
+	for i, nd := range res.Stats.Nodes {
+		out += fmt.Sprintf("node%d=%+v\n", i, *nd)
+	}
+	return out
+}
+
+// TestSparseMatchesDenseRuns is the tentpole validation for the sparse
+// vector-clock representation: full simulation runs must be byte-identical
+// with vc.ForceDense on (dense backing arrays) and off (sparse pair
+// lists), at both the paper's 8-node scale and the 64-node Paragon scale.
+// Wire sizes, and therefore all simulated timing, are computed from the
+// logical vector contents, so any divergence indicates a representation
+// bug.
+func TestSparseMatchesDenseRuns(t *testing.T) {
+	defer func(old bool) { vc.ForceDense = old }(vc.ForceDense)
+
+	cases := []struct {
+		procs int
+		mk    func() *testApp
+	}{
+		{8, func() *testApp { return counterApp(4) }},
+		{8, func() *testApp { return migratoryApp(3) }},
+		{8, multiWriterApp},
+		{64, multiWriterApp},
+		{64, func() *testApp { return migratoryApp(2) }},
+	}
+	for _, tc := range cases {
+		for _, proto := range Protocols {
+			tc, proto := tc, proto
+			name := fmt.Sprintf("%s/%s/p%d", tc.mk().Name(), proto, tc.procs)
+			t.Run(name, func(t *testing.T) {
+				opts := testOpts(proto, tc.procs)
+				vc.ForceDense = false
+				sparse := fingerprint(runOrFail(t, opts, tc.mk()))
+				vc.ForceDense = true
+				dense := fingerprint(runOrFail(t, opts, tc.mk()))
+				vc.ForceDense = false
+				if sparse != dense {
+					t.Fatalf("sparse and dense runs diverge:\n--- sparse ---\n%s--- dense ---\n%s", sparse, dense)
+				}
+			})
+		}
+	}
+}

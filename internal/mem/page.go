@@ -46,10 +46,19 @@ type Page struct {
 // HasCopy reports whether a local copy exists (possibly stale).
 func (p *Page) HasCopy() bool { return p.Data != nil }
 
+// TableChunk is the page-table allocation granule: entries materialize a
+// chunk at a time on first touch, so a node's table costs memory
+// proportional to the pages it actually references, not to the address
+// space — the difference between feasible and not at 1024 nodes.
+// Chunking also makes entry pointers stable with no pre-sizing: growing
+// the outer chunk list never moves an allocated chunk.
+const TableChunk = 128
+
 // Table is one node's page table.
 type Table struct {
-	Space *Space
-	pages []Page
+	Space  *Space
+	chunks [][]Page
+	limit  int // highest referenced page id + 1
 }
 
 // NewTable returns an empty page table over space.
@@ -57,19 +66,43 @@ func NewTable(space *Space) *Table {
 	return &Table{Space: space}
 }
 
-// Page returns the entry for page id, growing the table as needed.
+// Page returns the entry for page id, materializing its chunk. The
+// returned pointer is stable for the table's lifetime.
 func (t *Table) Page(id int) *Page {
 	if id < 0 {
 		panic(fmt.Sprintf("mem: page %d", id))
 	}
-	for id >= len(t.pages) {
-		t.pages = append(t.pages, Page{})
+	c := id / TableChunk
+	for c >= len(t.chunks) {
+		t.chunks = append(t.chunks, nil)
 	}
-	return &t.pages[id]
+	if t.chunks[c] == nil {
+		t.chunks[c] = make([]Page, TableChunk)
+	}
+	if id >= t.limit {
+		t.limit = id + 1
+	}
+	return &t.chunks[c][id%TableChunk]
 }
 
-// Len returns the number of page entries instantiated.
-func (t *Table) Len() int { return len(t.pages) }
+// Len returns one past the highest page id ever referenced.
+func (t *Table) Len() int { return t.limit }
+
+// Each visits every entry in every materialized chunk, in page order.
+// Entries in never-referenced chunks are skipped; they are zero (Invalid,
+// no copy), so callers that would ignore zero entries anyway see the
+// same behavior as a dense scan.
+func (t *Table) Each(fn func(id int, p *Page)) {
+	for ci, ch := range t.chunks {
+		if ch == nil {
+			continue
+		}
+		base := ci * TableChunk
+		for i := range ch {
+			fn(base+i, &ch[i])
+		}
+	}
+}
 
 // Materialize ensures the page has a zeroed local copy, returning it.
 func (t *Table) Materialize(id int) *Page {

@@ -15,7 +15,11 @@
 //   - the costs of the virtual-memory and diff primitives (Table 3).
 package paragon
 
-import "gosvm/internal/sim"
+import (
+	"fmt"
+
+	"gosvm/internal/sim"
+)
 
 // Costs is the basic-operation cost model (the paper's Table 3, plus the
 // derived constants the text quotes). All times are simulated time.
@@ -53,6 +57,46 @@ func DefaultCosts() Costs {
 		CoprocPost:       5 * sim.Microsecond,
 		MsgHeader:        32,
 	}
+}
+
+// ModernCosts returns a cost profile resembling a contemporary cluster:
+// kernel-bypass messaging (microsecond-scale latency, multi-GB/s links)
+// and ~10us interrupt/handler costs instead of the Paragon's 690us. The
+// machine model is unchanged — only the constants move — so runs isolate
+// how much of the paper's protocol ranking is an artifact of 1996
+// communication costs.
+func ModernCosts() Costs {
+	return Costs{
+		MsgLatency:       2 * sim.Microsecond,
+		BandwidthMBs:     3000.0,
+		ReceiveInterrupt: 10 * sim.Microsecond,
+		TwinCopy:         4 * sim.Microsecond, // per 8KB: ~2GB/s memcpy
+		DiffCreateBase:   2 * sim.Microsecond,
+		DiffPerWord:      1 * sim.Nanosecond,
+		DiffApplyBase:    1 * sim.Microsecond,
+		PageFault:        5 * sim.Microsecond,
+		PageInval:        500 * sim.Nanosecond,
+		PageProtect:      1 * sim.Microsecond,
+		LockHandling:     2 * sim.Microsecond,
+		CoprocPost:       1 * sim.Microsecond,
+		MsgHeader:        64,
+	}
+}
+
+// CostProfiles lists the built-in cost profile names for CostProfile.
+var CostProfiles = []string{"paragon", "modern"}
+
+// CostProfile returns a named built-in cost model: "paragon" (the
+// paper's Table 3, also the default for an empty name) or "modern"
+// (ModernCosts).
+func CostProfile(name string) (Costs, error) {
+	switch name {
+	case "", "paragon":
+		return DefaultCosts(), nil
+	case "modern":
+		return ModernCosts(), nil
+	}
+	return Costs{}, fmt.Errorf("paragon: unknown cost profile %q (have paragon, modern)", name)
 }
 
 // Wire returns the time a message of the given payload size occupies the

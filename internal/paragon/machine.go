@@ -67,10 +67,9 @@ func New(k *sim.Kernel, n int, costs Costs) *Machine {
 		m.Nodes = append(m.Nodes, nd)
 		nd.startDispatchers()
 	}
+	// Per-source rows materialize on first ordered send (see sendTime):
+	// most (src,dst) pairs never communicate at scale.
 	m.lastArrival = make([][]sim.Time, n)
-	for i := range m.lastArrival {
-		m.lastArrival[i] = make([]sim.Time, n)
-	}
 	return m
 }
 
@@ -232,15 +231,24 @@ func (n *Node) arrivalTime(to, size int, ordered bool) (at sim.Time, ok bool) {
 	if !ordered {
 		return at, true
 	}
-	if prev := n.M.lastArrival[n.ID][to]; at <= prev {
+	row := n.M.lastArrival[n.ID]
+	if row == nil {
+		row = make([]sim.Time, len(n.M.Nodes))
+		n.M.lastArrival[n.ID] = row
+	}
+	if prev := row[to]; at <= prev {
 		at = prev + 1
 	}
-	n.M.lastArrival[n.ID][to] = at
+	row[to] = at
 	return at, true
 }
 
 // enqueue hands a delivered message to the targeted dispatcher queue.
+// Every enqueued message is an unsolicited request this node must
+// service (replies bypass the dispatchers), so this is where the
+// hot-spot metric MsgsIn is counted.
 func (n *Node) enqueue(msg Msg) {
+	n.Stats.MsgsIn++
 	switch msg.Target {
 	case ToCompute:
 		n.computeQ.Push(msg)

@@ -126,10 +126,9 @@ func newFaultLayer(m *Machine, inj *fault.Injector) *faultLayer {
 		fl.seen[i] = make(map[uint64]struct{})
 	}
 	if fl.adaptive {
+		// Rows materialize on first use (see edgeEstimate): estimator
+		// state is per communicating edge, not per possible edge.
 		fl.rtt = make([][]edgeRTT, len(m.Nodes))
-		for i := range fl.rtt {
-			fl.rtt[i] = make([]edgeRTT, len(m.Nodes))
-		}
 	}
 	return fl
 }
@@ -143,10 +142,21 @@ func newFaultLayer(m *Machine, inj *fault.Injector) *faultLayer {
 // per-edge estimate can dodge it), while the estimate adapts to what
 // does differ per edge — route length and link congestion. Every wait,
 // first or backed-off, is capped at RTOMax.
+// edgeEstimate returns the RTT estimator for the (src,dst) edge,
+// materializing the source's row on first touch.
+func (fl *faultLayer) edgeEstimate(src, dst int) *edgeRTT {
+	row := fl.rtt[src]
+	if row == nil {
+		row = make([]edgeRTT, len(fl.m.Nodes))
+		fl.rtt[src] = row
+	}
+	return &row[dst]
+}
+
 func (fl *faultLayer) rtoFor(src, dst int) sim.Time {
 	rto := fl.rto
 	if fl.adaptive {
-		if e := &fl.rtt[src][dst]; e.samples > 0 && e.srtt+2*e.rttvar > rto {
+		if e := fl.edgeEstimate(src, dst); e.samples > 0 && e.srtt+2*e.rttvar > rto {
 			rto = e.srtt + 2*e.rttvar
 		}
 	}
@@ -318,7 +328,7 @@ func (fl *faultLayer) ackArrived(nm *netMsg) {
 		// Karn's rule: an ack for a retransmitted message is ambiguous
 		// (it may answer any copy), so only first-attempt round trips
 		// feed the estimator.
-		fl.rtt[nm.src][nm.dst].observe(fl.m.K.Now() - nm.firstSent)
+		fl.edgeEstimate(nm.src, nm.dst).observe(fl.m.K.Now() - nm.firstSent)
 	}
 	if nm.attempts > 1 {
 		// Recovery time: how long the loss stalled this message beyond a

@@ -182,7 +182,7 @@ func TestAdaptiveRTOPerEdge(t *testing.T) {
 	}
 	// A slow edge: first sample sets srtt=rtt, rttvar=rtt/2, so the
 	// timeout becomes srtt + 2*rttvar = 2*rtt.
-	fl.rtt[0][1].observe(10 * sim.Millisecond)
+	fl.edgeEstimate(0, 1).observe(10 * sim.Millisecond)
 	if got := fl.rtoFor(0, 1); got != 20*sim.Millisecond {
 		t.Fatalf("sampled edge RTO = %v, want 20ms", got)
 	}
@@ -191,12 +191,12 @@ func TestAdaptiveRTOPerEdge(t *testing.T) {
 		t.Fatalf("reverse edge RTO = %v, want the fixed 2ms", got)
 	}
 	// A fast edge never drops below the fixed RTO (minRTO floor).
-	fl.rtt[2][3].observe(10 * sim.Microsecond)
+	fl.edgeEstimate(2, 3).observe(10 * sim.Microsecond)
 	if got := fl.rtoFor(2, 3); got != 2*sim.Millisecond {
 		t.Fatalf("fast edge RTO = %v, want the 2ms floor", got)
 	}
 	// A pathological edge is capped at RTOMax.
-	fl.rtt[3][2].observe(200 * sim.Millisecond)
+	fl.edgeEstimate(3, 2).observe(200 * sim.Millisecond)
 	if got := fl.rtoFor(3, 2); got != 50*sim.Millisecond {
 		t.Fatalf("slow edge RTO = %v, want the 50ms cap", got)
 	}

@@ -146,6 +146,26 @@ func SORSmall(b *testing.B) { endToEnd(b, "sor", core.ProtoHLRC, 8) }
 // LUSmall is an end-to-end LRC run of the test-size LU kernel.
 func LUSmall(b *testing.B) { endToEnd(b, "lu", core.ProtoLRC, 8) }
 
+// ScaleSmall is an end-to-end 256-node HLRC SOR run: it exercises the
+// large-machine paths — tree barrier, sparse vector clocks, lazily
+// materialized per-node state — so the trajectory tracks how expensive
+// big machines are to simulate (cells/sec at scale).
+func ScaleSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := &apps.SOR{H: 256, W: 128, Iters: 2, ElemNs: 9700}
+		opts := core.Options{
+			Protocol:    core.ProtoHLRC,
+			PageBytes:   4096,
+			GCThreshold: 8 << 20,
+			Machine:     core.Machine{Nodes: 256},
+		}
+		if _, err := core.Run(opts, a, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ServeSmall is an end-to-end OHLRC run of a small open-loop serving
 // cell: trace generation, the full request loop with latency recording,
 // and store validation per iteration.

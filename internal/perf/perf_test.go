@@ -10,3 +10,4 @@ func BenchmarkApplyDiff(b *testing.B)       { ApplyDiff(b) }
 func BenchmarkSORSmall(b *testing.B)        { SORSmall(b) }
 func BenchmarkLUSmall(b *testing.B)         { LUSmall(b) }
 func BenchmarkServeSmall(b *testing.B)      { ServeSmall(b) }
+func BenchmarkScaleSmall(b *testing.B)      { ScaleSmall(b) }

@@ -86,6 +86,14 @@ type Node struct {
 	MsgsOut [NumClasses]int64
 	Bytes   [NumClasses]int64
 
+	// MsgsIn counts unsolicited messages serviced by this node's
+	// dispatchers (requests that cost an interrupt or a co-processor
+	// service slot; replies to this node's own requests bypass the
+	// dispatchers and are not counted). The per-node spread of MsgsIn is
+	// the home hot-spot metric: a skewed home assignment concentrates
+	// fetch/flush service on a few nodes.
+	MsgsIn int64
+
 	// Protocol memory accounting (diffs, twins, write notices, interval
 	// records, timestamps). Peak is the high-water mark.
 	ProtoMem     int64
@@ -170,6 +178,7 @@ func (n Node) Sub(o Node) Node {
 		d.MsgsOut[i] = n.MsgsOut[i] - o.MsgsOut[i]
 		d.Bytes[i] = n.Bytes[i] - o.Bytes[i]
 	}
+	d.MsgsIn = n.MsgsIn - o.MsgsIn
 	d.ProtoMem = n.ProtoMem - o.ProtoMem
 	d.ProtoMemPeak = n.ProtoMemPeak
 	d.AppMem = n.AppMem
@@ -237,6 +246,7 @@ func (r *Run) AvgNode() Node {
 			sum.MsgsOut[i] += nd.MsgsOut[i]
 			sum.Bytes[i] += nd.Bytes[i]
 		}
+		sum.MsgsIn += nd.MsgsIn
 		sum.ProtoMemPeak += nd.ProtoMemPeak
 		sum.AppMem += nd.AppMem
 		sum.Recovery += nd.Recovery
@@ -265,6 +275,7 @@ func (r *Run) AvgNode() Node {
 		avg.MsgsOut[i] = sum.MsgsOut[i] / n
 		avg.Bytes[i] = sum.Bytes[i] / n
 	}
+	avg.MsgsIn = sum.MsgsIn / n
 	avg.ProtoMemPeak = sum.ProtoMemPeak / n
 	avg.AppMem = sum.AppMem / n
 	avg.Recovery = sum.Recovery / sim.Time(n)

@@ -1,0 +1,275 @@
+package vc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ForceDense, when set before simulation starts, makes every Sparse use a
+// dense backing array internally. Semantics and wire sizes are identical in
+// both modes (WireSize is computed from the logical contents, not the
+// representation), so a full simulation run must produce byte-identical
+// results with the flag on or off. Tests flip it to validate the sparse
+// algebra against the dense one end to end; it is not safe to change
+// mid-run.
+var ForceDense = false
+
+// Sparse is a vector timestamp over n processors that stores only its
+// non-zero components, as parallel (proc, value) slices sorted by proc.
+// Per-page vectors in the coherence protocols are touched by O(active
+// writers) processors, not O(n), so at large machine sizes this makes
+// write-notice records and piggybacked timestamps cost O(writers).
+//
+// The zero value is not usable; construct with NewSparse or SparseFrom.
+// Read methods (Get, Covers, NNZ, WireSize, Dense) tolerate a nil
+// receiver, which behaves as an all-zero vector of unknown dimension.
+type Sparse struct {
+	n     int     // dimension (number of processors)
+	procs []int32 // sorted processor ids with non-zero components
+	vals  []int32 // vals[i] pairs with procs[i]
+	dense VC      // non-nil when ForceDense was set at creation
+}
+
+// NewSparse returns an all-zero sparse vector for n processors.
+func NewSparse(n int) *Sparse {
+	s := &Sparse{n: n}
+	if ForceDense {
+		s.dense = New(n)
+	}
+	return s
+}
+
+// SparseFrom returns a sparse copy of a dense vector.
+func SparseFrom(v VC) *Sparse {
+	s := NewSparse(len(v))
+	if s.dense != nil {
+		copy(s.dense, v)
+		return s
+	}
+	for i, x := range v {
+		if x != 0 {
+			s.procs = append(s.procs, int32(i))
+			s.vals = append(s.vals, x)
+		}
+	}
+	return s
+}
+
+// Dim returns the dimension the vector was created with (0 for nil).
+func (s *Sparse) Dim() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// find returns the index of proc p in s.procs, or -1.
+func (s *Sparse) find(p int32) int {
+	i := sort.Search(len(s.procs), func(i int) bool { return s.procs[i] >= p })
+	if i < len(s.procs) && s.procs[i] == p {
+		return i
+	}
+	return -1
+}
+
+// Get returns component p (0 when absent or s is nil).
+func (s *Sparse) Get(p int) int32 {
+	if s == nil {
+		return 0
+	}
+	if s.dense != nil {
+		return s.dense[p]
+	}
+	if i := s.find(int32(p)); i >= 0 {
+		return s.vals[i]
+	}
+	return 0
+}
+
+// Set assigns component p. Setting zero removes the entry.
+func (s *Sparse) Set(p int, x int32) {
+	if s.dense != nil {
+		s.dense[p] = x
+		return
+	}
+	pp := int32(p)
+	i := sort.Search(len(s.procs), func(i int) bool { return s.procs[i] >= pp })
+	if i < len(s.procs) && s.procs[i] == pp {
+		if x == 0 {
+			s.procs = append(s.procs[:i], s.procs[i+1:]...)
+			s.vals = append(s.vals[:i], s.vals[i+1:]...)
+			return
+		}
+		s.vals[i] = x
+		return
+	}
+	if x == 0 {
+		return
+	}
+	s.procs = append(s.procs, 0)
+	copy(s.procs[i+1:], s.procs[i:])
+	s.procs[i] = pp
+	s.vals = append(s.vals, 0)
+	copy(s.vals[i+1:], s.vals[i:])
+	s.vals[i] = x
+}
+
+// RaiseTo raises component p to at least x.
+func (s *Sparse) RaiseTo(p int, x int32) {
+	if s.Get(p) < x {
+		s.Set(p, x)
+	}
+}
+
+// MaxWith raises each component of s to at least the corresponding
+// component of o (which may be nil).
+func (s *Sparse) MaxWith(o *Sparse) {
+	if o == nil {
+		return
+	}
+	if o.dense != nil {
+		for p, x := range o.dense {
+			if x != 0 {
+				s.RaiseTo(p, x)
+			}
+		}
+		return
+	}
+	for i, p := range o.procs {
+		s.RaiseTo(int(p), o.vals[i])
+	}
+}
+
+// Covers reports whether s[i] >= o[i] for all i. Both sides may be nil.
+func (s *Sparse) Covers(o *Sparse) bool {
+	if o == nil {
+		return true
+	}
+	if o.dense != nil {
+		for p, x := range o.dense {
+			if x != 0 && s.Get(p) < x {
+				return false
+			}
+		}
+		return true
+	}
+	for i, p := range o.procs {
+		if s.Get(int(p)) < o.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise equality.
+func (s *Sparse) Equal(o *Sparse) bool {
+	return s.Covers(o) && o.Covers(s)
+}
+
+// Copy returns an independent copy (nil copies to nil).
+func (s *Sparse) Copy() *Sparse {
+	if s == nil {
+		return nil
+	}
+	c := &Sparse{n: s.n}
+	if s.dense != nil {
+		c.dense = s.dense.Copy()
+		return c
+	}
+	if len(s.procs) > 0 {
+		c.procs = append([]int32(nil), s.procs...)
+		c.vals = append([]int32(nil), s.vals...)
+	}
+	return c
+}
+
+// NNZ returns the number of non-zero components.
+func (s *Sparse) NNZ() int {
+	if s == nil {
+		return 0
+	}
+	if s.dense != nil {
+		nnz := 0
+		for _, x := range s.dense {
+			if x != 0 {
+				nnz++
+			}
+		}
+		return nnz
+	}
+	return len(s.procs)
+}
+
+// Dense materializes the vector as a dense VC of dimension n.
+func (s *Sparse) Dense(n int) VC {
+	v := New(n)
+	if s == nil {
+		return v
+	}
+	if s.dense != nil {
+		copy(v, s.dense)
+		return v
+	}
+	for i, p := range s.procs {
+		v[p] = s.vals[i]
+	}
+	return v
+}
+
+// Each calls f for every non-zero component in increasing proc order.
+func (s *Sparse) Each(f func(p int, x int32)) {
+	if s == nil {
+		return
+	}
+	if s.dense != nil {
+		for p, x := range s.dense {
+			if x != 0 {
+				f(p, x)
+			}
+		}
+		return
+	}
+	for i, p := range s.procs {
+		f(int(p), s.vals[i])
+	}
+}
+
+// WireSize is the encoded size of the vector in bytes: the cheaper of the
+// dense encoding (4 bytes per component) and a sparse (proc, value) pair
+// list with a 4-byte count. The formula depends only on the logical
+// contents, never the host representation, so simulated time is identical
+// under ForceDense.
+func (s *Sparse) WireSize() int {
+	if s == nil {
+		return 4
+	}
+	return SparseWireSize(s.n, s.NNZ())
+}
+
+// SparseWireSize is the wire-size model shared by every vector-timestamp
+// encoding: min(dense, pair-list) for dimension n with nnz non-zero
+// components.
+func SparseWireSize(n, nnz int) int {
+	dense := 4 * n
+	pairs := 4 + 8*nnz
+	if pairs < dense {
+		return pairs
+	}
+	return dense
+}
+
+func (s *Sparse) String() string {
+	if s == nil {
+		return "{}"
+	}
+	out := "{"
+	first := true
+	s.Each(func(p int, x int32) {
+		if !first {
+			out += " "
+		}
+		first = false
+		out += fmt.Sprintf("%d:%d", p, x)
+	})
+	return out + "}"
+}

@@ -72,7 +72,7 @@ func (v VC) WireSize() int { return 4 * len(v) }
 type Stamp struct {
 	Proc     int
 	Interval int32
-	VC       VC
+	VC       *Sparse
 }
 
 // HappensBefore reports whether interval a causally precedes interval b.
@@ -84,7 +84,7 @@ func HappensBefore(a, b Stamp) bool {
 	if a.Proc == b.Proc {
 		return a.Interval < b.Interval
 	}
-	return b.VC[a.Proc] >= a.Interval
+	return b.VC.Get(a.Proc) >= a.Interval
 }
 
 // TopoSort orders stamps so that causally earlier intervals come first

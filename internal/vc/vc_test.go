@@ -35,8 +35,8 @@ func TestMaxWith(t *testing.T) {
 }
 
 func TestHappensBeforeSameProc(t *testing.T) {
-	a := Stamp{Proc: 1, Interval: 2, VC: VC{0, 2, 0}}
-	b := Stamp{Proc: 1, Interval: 5, VC: VC{0, 5, 0}}
+	a := Stamp{Proc: 1, Interval: 2, VC: SparseFrom(VC{0, 2, 0})}
+	b := Stamp{Proc: 1, Interval: 5, VC: SparseFrom(VC{0, 5, 0})}
 	if !HappensBefore(a, b) || HappensBefore(b, a) {
 		t.Fatal("same-proc interval order wrong")
 	}
@@ -45,8 +45,8 @@ func TestHappensBeforeSameProc(t *testing.T) {
 func TestHappensBeforeCrossProc(t *testing.T) {
 	// Proc 0 interval 3 ended with VC {3,0}; proc 1 later acquired from
 	// proc 0 so its interval 2 ended with VC {3,2}.
-	a := Stamp{Proc: 0, Interval: 3, VC: VC{3, 0}}
-	b := Stamp{Proc: 1, Interval: 2, VC: VC{3, 2}}
+	a := Stamp{Proc: 0, Interval: 3, VC: SparseFrom(VC{3, 0})}
+	b := Stamp{Proc: 1, Interval: 2, VC: SparseFrom(VC{3, 2})}
 	if !HappensBefore(a, b) {
 		t.Fatal("a should precede b")
 	}
@@ -54,8 +54,8 @@ func TestHappensBeforeCrossProc(t *testing.T) {
 		t.Fatal("b must not precede a")
 	}
 	// Concurrent intervals.
-	c := Stamp{Proc: 0, Interval: 4, VC: VC{4, 0}}
-	d := Stamp{Proc: 1, Interval: 1, VC: VC{0, 1}}
+	c := Stamp{Proc: 0, Interval: 4, VC: SparseFrom(VC{4, 0})}
+	d := Stamp{Proc: 1, Interval: 1, VC: SparseFrom(VC{0, 1})}
 	if HappensBefore(c, d) || HappensBefore(d, c) {
 		t.Fatal("c and d are concurrent")
 	}
@@ -64,9 +64,9 @@ func TestHappensBeforeCrossProc(t *testing.T) {
 func TestTopoSortChain(t *testing.T) {
 	// A causal chain 0:1 -> 1:1 -> 0:2 presented in reverse.
 	s := []Stamp{
-		{Proc: 0, Interval: 2, VC: VC{2, 1}},
-		{Proc: 1, Interval: 1, VC: VC{1, 1}},
-		{Proc: 0, Interval: 1, VC: VC{1, 0}},
+		{Proc: 0, Interval: 2, VC: SparseFrom(VC{2, 1})},
+		{Proc: 1, Interval: 1, VC: SparseFrom(VC{1, 1})},
+		{Proc: 0, Interval: 1, VC: SparseFrom(VC{1, 0})},
 	}
 	TopoSort(s)
 	for i := 0; i < len(s); i++ {
@@ -87,9 +87,9 @@ func TestTopoSortChain(t *testing.T) {
 func TestTopoSortDeterministicTieBreak(t *testing.T) {
 	mk := func() []Stamp {
 		return []Stamp{
-			{Proc: 2, Interval: 1, VC: VC{0, 0, 1}},
-			{Proc: 0, Interval: 1, VC: VC{1, 0, 0}},
-			{Proc: 1, Interval: 1, VC: VC{0, 1, 0}},
+			{Proc: 2, Interval: 1, VC: SparseFrom(VC{0, 0, 1})},
+			{Proc: 0, Interval: 1, VC: SparseFrom(VC{1, 0, 0})},
+			{Proc: 1, Interval: 1, VC: SparseFrom(VC{0, 1, 0})},
 		}
 	}
 	a, b := mk(), mk()
@@ -126,7 +126,7 @@ func TestTopoSortProperty(t *testing.T) {
 				clocks[p].MaxWith(clocks[q])
 			}
 			clocks[p][p]++
-			stamps = append(stamps, Stamp{Proc: p, Interval: clocks[p][p], VC: clocks[p].Copy()})
+			stamps = append(stamps, Stamp{Proc: p, Interval: clocks[p][p], VC: SparseFrom(clocks[p])})
 		}
 		rng.Shuffle(len(stamps), func(i, j int) { stamps[i], stamps[j] = stamps[j], stamps[i] })
 		TopoSort(stamps)
