@@ -42,6 +42,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for the -faults and -rto-ablation plans")
 		jsonDir    = flag.String("json-dir", "", "write per-cell JSON statistics of the -faults / -rto-ablation sweeps here")
 		parallel   = cliflags.AddParallel(flag.CommandLine)
+		runWkrs    = cliflags.AddRunWorkers(flag.CommandLine)
 		quiet      = cliflags.AddQuiet(flag.CommandLine)
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 	r := bench.NewRunner(apps.Size(*size))
 	r.PageBytes = mf.Page
 	r.Parallel = *parallel
+	r.RunWorkers = *runWkrs
 	if !*quiet {
 		r.Progress = os.Stderr
 	}

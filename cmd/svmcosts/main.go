@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"gosvm/internal/bench"
+	"gosvm/internal/cliflags"
 	"gosvm/internal/paragon"
 	"gosvm/internal/sim"
 	"gosvm/internal/stats"
@@ -18,6 +19,7 @@ import (
 func main() {
 	page := flag.Int("page", 8192, "page size in bytes")
 	costsName := flag.String("costs", "", `cost profile: "paragon" (default; the paper's Table 3) or "modern" (us-scale kernel-bypass messaging)`)
+	runWkrs := cliflags.AddRunWorkers(flag.CommandLine)
 	flag.Parse()
 
 	c, err := paragon.CostProfile(*costsName)
@@ -31,6 +33,11 @@ func main() {
 
 	measure := func(name string, target paragon.Target, respBytes int, extra sim.Time) {
 		k := sim.NewKernel()
+		if *runWkrs >= 2 {
+			// The round trips are real two-node simulations, so they can
+			// run on the partitioned kernel; times are identical either way.
+			k.Partition(2, c.Lookahead(), *runWkrs)
+		}
 		m := paragon.New(k, 2, c)
 		h := func(msg paragon.Msg) (sim.Time, func()) {
 			return extra, func() {

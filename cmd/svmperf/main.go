@@ -43,21 +43,43 @@ type sweepResult struct {
 	Speedup     float64 `json:"speedup"`
 }
 
+// parallelPoint is one -run-workers measurement of a single big run:
+// fixed simulated work, varying only the kernel worker count. Speedup
+// is relative to the workers=1 (sequential kernel) point.
+type parallelPoint struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"`
+	Speedup float64 `json:"speedup"`
+}
+
+// parallelRunResult records the conservative-window kernel's wall-clock
+// scaling on one big run each of SOR and the serving workload, at
+// -run-workers 1/2/4/8. Unlike Sweep/Serve (many independent cells in
+// worker goroutines), these parallelize inside a single simulation.
+type parallelRunResult struct {
+	SORNodes   int             `json:"sor_nodes"`
+	SOR        []parallelPoint `json:"sor"`
+	ServeNodes int             `json:"serve_nodes"`
+	Serve      []parallelPoint `json:"serve"`
+}
+
 type entry struct {
-	Timestamp  string                 `json:"timestamp"`
-	GoVersion  string                 `json:"go_version"`
-	GOMAXPROCS int                    `json:"gomaxprocs"`
-	Benchmarks map[string]benchResult `json:"benchmarks"`
-	Sweep      *sweepResult           `json:"sweep,omitempty"`
-	Serve      *sweepResult           `json:"serve,omitempty"`
+	Timestamp   string                 `json:"timestamp"`
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Benchmarks  map[string]benchResult `json:"benchmarks"`
+	Sweep       *sweepResult           `json:"sweep,omitempty"`
+	Serve       *sweepResult           `json:"serve,omitempty"`
+	ParallelRun *parallelRunResult     `json:"parallel_run,omitempty"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_sim.json", "trajectory file to append to (- for stdout)")
-		size    = flag.String("size", "test", "problem size for the sweep measurement")
-		doSweep = flag.Bool("sweep", true, "measure Table-2 sweep wall clock at -parallel 1 vs GOMAXPROCS")
-		doServe = flag.Bool("serve", true, "measure serving-sweep wall clock at -parallel 1 vs GOMAXPROCS")
+		out      = flag.String("out", "BENCH_sim.json", "trajectory file to append to (- for stdout)")
+		size     = flag.String("size", "test", "problem size for the sweep measurement")
+		doSweep  = flag.Bool("sweep", true, "measure Table-2 sweep wall clock at -parallel 1 vs GOMAXPROCS")
+		doServe  = flag.Bool("serve", true, "measure serving-sweep wall clock at -parallel 1 vs GOMAXPROCS")
+		doParRun = flag.Bool("parallel-run", true, "measure single-run parallel kernel wall clock (1024-node SOR and a serve load point) at -run-workers 1/2/4/8")
 	)
 	flag.Parse()
 
@@ -96,6 +118,9 @@ func main() {
 	}
 	if *doServe {
 		e.Serve = measureServe()
+	}
+	if *doParRun {
+		e.ParallelRun = measureParallelRun()
 	}
 
 	if err := bench.AppendJSON(*out, e); err != nil {
@@ -154,6 +179,81 @@ func serveSweepOnce(parallel int) (float64, int) {
 	secs := time.Since(start).Seconds()
 	cells := len(o.Loads) * len(r.Procs) * len(core.Protocols)
 	return secs, cells
+}
+
+const (
+	parSORNodes   = 1024
+	parServeNodes = 64
+)
+
+var parWorkers = []int{1, 2, 4, 8}
+
+// parSOROnce runs the 1024-node paper-grid SOR (the -scale flagship
+// cell) once at the given -run-workers and returns wall-clock seconds.
+func parSOROnce(workers int) float64 {
+	app := &apps.SOR{H: 2048, W: 1024, Iters: 4, ElemNs: 9700}
+	opts := core.Options{
+		Protocol:   core.ProtoHLRC,
+		PageBytes:  4096,
+		Machine:    core.Machine{Nodes: parSORNodes},
+		RunWorkers: workers,
+	}
+	start := time.Now()
+	if _, err := core.Run(opts, app, false); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return time.Since(start).Seconds()
+}
+
+// parServeOnce runs one 64-node open-loop serving load point at the
+// given -run-workers and returns wall-clock seconds.
+func parServeOnce(workers int) float64 {
+	cfg := serve.Config{
+		Keys:        4096,
+		OfferedLoad: 32000,
+		Window:      400 * sim.Millisecond,
+		ZipfTheta:   0.9,
+		Seed:        7,
+	}
+	kv, err := serve.New(cfg, parServeNodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := core.Options{
+		Protocol:   core.ProtoHLRC,
+		NumProcs:   parServeNodes,
+		RunWorkers: workers,
+	}
+	start := time.Now()
+	if _, err := serve.Run(opts, kv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return time.Since(start).Seconds()
+}
+
+func measureParallelRun() *parallelRunResult {
+	measure := func(name string, once func(int) float64) []parallelPoint {
+		var pts []parallelPoint
+		var base float64
+		for _, w := range parWorkers {
+			fmt.Fprintf(os.Stderr, "# %s -run-workers %d...\n", name, w)
+			s := once(w)
+			if w == 1 {
+				base = s
+			}
+			pts = append(pts, parallelPoint{Workers: w, Seconds: s, Speedup: base / s})
+		}
+		return pts
+	}
+	return &parallelRunResult{
+		SORNodes:   parSORNodes,
+		SOR:        measure("parallel-run sor", parSOROnce),
+		ServeNodes: parServeNodes,
+		Serve:      measure("parallel-run serve", parServeOnce),
+	}
 }
 
 func measureServe() *sweepResult {

@@ -33,6 +33,7 @@ func main() {
 		ckpt     = flag.Duration("ckpt", 0, "checkpoint period in simulated time (0 = eager mirroring; requires -replicas)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON statistics instead of text")
 		parallel = cliflags.AddParallel(flag.CommandLine)
+		runWkrs  = cliflags.AddRunWorkers(flag.CommandLine)
 	)
 	mf.AddMeshAlias(flag.CommandLine)
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		gosvm.WithFaults(plan),
 		gosvm.WithReplication(*replicas),
 		gosvm.WithCheckpointEvery(gosvm.Time(ckpt.Nanoseconds())),
+		gosvm.WithRunWorkers(*runWkrs),
 	)
 	workers := *parallel
 	if workers <= 0 {

@@ -46,6 +46,7 @@ func main() {
 		serviceUs = flag.Float64("service-us", 5, "modeled per-op compute time, microseconds")
 		ff        = cliflags.AddFaultBasic(flag.CommandLine, "")
 		parallel  = cliflags.AddParallel(flag.CommandLine)
+		runWkrs   = cliflags.AddRunWorkers(flag.CommandLine)
 		jsonDir   = flag.String("json-dir", "", "write per-cell JSON statistics (with latency histograms) here")
 		quiet     = cliflags.AddQuiet(flag.CommandLine)
 	)
@@ -59,6 +60,7 @@ func main() {
 	r := bench.NewRunner(apps.SizeSmall)
 	r.PageBytes = mf.Page
 	r.Parallel = *parallel
+	r.RunWorkers = *runWkrs
 	if !*quiet {
 		r.Progress = os.Stderr
 	}

@@ -328,6 +328,18 @@ func WithCheckpointEvery(d Time) Option {
 	return func(o *Options) { o.Recovery.CheckpointEvery = d }
 }
 
+// WithRunWorkers sets the number of host threads driving one simulation
+// run. At n >= 2 the kernel is partitioned into per-node logical
+// processes advanced in parallel under a conservative lookahead window
+// (the minimum cross-node message latency of the cost model); results
+// are byte-identical at any value. Configurations with globally ordered
+// machinery — mesh link contention, fault injection, crash recovery,
+// tracing — fall back to the classic sequential event loop. 0 or 1
+// selects the sequential loop directly.
+func WithRunWorkers(n int) Option {
+	return func(o *Options) { o.RunWorkers = n }
+}
+
 // Time units.
 const (
 	Microsecond = sim.Microsecond

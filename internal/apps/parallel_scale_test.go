@@ -1,0 +1,56 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"gosvm/internal/core"
+)
+
+// runScaleSORWorkers is runScaleSOR with an explicit -run-workers value,
+// returning the full stats JSON alongside the result for byte-equality
+// checks across worker counts.
+func runScaleSORWorkers(t *testing.T, proto core.Protocol, nodes, workers int) (*core.Result, string) {
+	t.Helper()
+	opts := core.Options{
+		Protocol:   proto,
+		PageBytes:  4096,
+		Machine:    core.Machine{Nodes: nodes},
+		RunWorkers: workers,
+	}
+	res, err := core.Run(opts, scaleSOR(), false)
+	if err != nil {
+		t.Fatalf("sor/%s/p%d/w%d: %v", proto, nodes, workers, err)
+	}
+	var buf bytes.Buffer
+	if err := res.Stats.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return res, buf.String()
+}
+
+// TestParallelKernelScale256 is the CI parallel-kernel smoke (run under
+// -race): the 256-node scale run — tree barrier, sparse clocks, lazy
+// state — executed on the partitioned kernel at -run-workers 4 must be
+// byte-identical to the sequential kernel (workers=1), stats and data.
+func TestParallelKernelScale256(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			ref, refJSON := runScaleSORWorkers(t, proto, 256, 1)
+			par, parJSON := runScaleSORWorkers(t, proto, 256, 4)
+			if parJSON != refJSON {
+				t.Fatalf("workers=4 stats diverge from workers=1:\n--- w=1 ---\n%s\n--- w=4 ---\n%s",
+					refJSON, parJSON)
+			}
+			if len(par.Data) != len(ref.Data) {
+				t.Fatalf("data length %d != %d", len(par.Data), len(ref.Data))
+			}
+			for i := range par.Data {
+				if par.Data[i] != ref.Data[i] {
+					t.Fatalf("word %d = %v, want %v", i, par.Data[i], ref.Data[i])
+				}
+			}
+		})
+	}
+}

@@ -33,6 +33,7 @@ func (r *Runner) baseOpts(proto core.Protocol, procs int) core.Options {
 		NumProcs:    procs,
 		PageBytes:   r.PageBytes,
 		GCThreshold: r.GCThreshold,
+		RunWorkers:  r.RunWorkers,
 	}
 }
 

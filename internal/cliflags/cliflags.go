@@ -196,6 +196,15 @@ func (f *FaultFlags) Plan(nodes int) (fault.Plan, error) {
 	return plan, nil
 }
 
+// AddRunWorkers registers -run-workers, the number of host threads
+// driving each single simulation (conservative-window parallel kernel).
+func AddRunWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("run-workers", 1,
+		"host threads per simulation run: >= 2 partitions the kernel into per-node "+
+			"logical processes under a conservative lookahead window; results are "+
+			"byte-identical at any value (1 = classic sequential event loop)")
+}
+
 // AddParallel registers the host-parallelism cap shared by the sweep
 // tools.
 func AddParallel(fs *flag.FlagSet) *int {

@@ -69,6 +69,9 @@ type base struct {
 	// (treebarrier.go). The centralized manager above still exists on
 	// node 0 for the GC rendezvous.
 	tree *treeBarrier
+
+	// memPool recycles page/diff buffers for this node only; see init.
+	memPool *mem.Pool
 }
 
 type lockState struct {
@@ -93,6 +96,10 @@ func (b *base) init(sys *System, self int, co coherence) {
 	if sys.Opts.Machine.TreeBarrier() {
 		b.tree = newTreeBarrier(self, sys.Opts.Machine.BarrierRadix, sys.Opts.NumProcs)
 	}
+	// Buffer recycling is per node so concurrent lanes never share a free
+	// list. Pool contents are never observable (every consumer overwrites
+	// the full buffer), so sharding changes no simulated outcome.
+	b.memPool = mem.NewPool(sys.Space.PageWords)
 }
 
 func (b *base) costs() *paragon.Costs { return &b.sys.Opts.Costs }
@@ -102,7 +109,7 @@ func (b *base) costs() *paragon.Costs { return &b.sys.Opts.Costs }
 // allocate) regardless of the host representation, so memory-triggered GC
 // behaves identically under vc.ForceDense.
 func (b *base) vecBytes() int64 { return int64(4 * b.sys.Opts.NumProcs) }
-func (b *base) pool() *mem.Pool { return b.sys.Space.Pool }
+func (b *base) pool() *mem.Pool { return b.memPool }
 func (b *base) st() *stats.Node { return b.node.Stats }
 func (b *base) app() *sim.Proc  { return b.sys.appProcs[b.self] }
 
@@ -114,7 +121,12 @@ func (b *base) use(d sim.Time, cat stats.Category) {
 }
 
 // emit records a protocol trace event (no-op unless tracing is enabled).
+// The guard comes first so a parallel run never touches lane 0's clock
+// from another lane (tracing itself forces the sequential kernel).
 func (b *base) emit(k trace.Kind, page, peer int, arg int64) {
+	if b.sys.traceLog == nil {
+		return
+	}
 	b.sys.traceLog.Emit(trace.Event{
 		T: b.sys.K.Now(), Node: b.self, Kind: k, Page: page, Peer: peer, Arg: arg,
 	})

@@ -144,6 +144,16 @@ type Options struct {
 	// home-based protocols (required to survive Fault.Crashes of nodes
 	// that home pages). The zero value disables it.
 	Recovery Recovery
+
+	// RunWorkers is the number of host threads driving one simulation:
+	// at >= 2 the kernel is partitioned into per-node logical processes
+	// advanced in parallel under a conservative lookahead window (see
+	// sim.Kernel.Partition). Results are byte-identical at any value.
+	// Configurations whose machinery is inherently cross-node-ordered
+	// (mesh link contention, fault injection, crash recovery, tracing,
+	// phase capture) fall back to the sequential kernel. 0 or 1 means
+	// the classic sequential event loop.
+	RunWorkers int
 }
 
 // Defaults fills unset fields and reconciles the Machine block with the

@@ -169,7 +169,7 @@ func (s *System) startCkptTimers() {
 		e := s.Engines[i].(*hlrcEngine)
 		var tick func()
 		tick = func() {
-			if s.liveWorkers == 0 {
+			if s.liveWorkers.Load() == 0 {
 				return
 			}
 			if !s.M.Down(e.self) {

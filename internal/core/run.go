@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gosvm/internal/fault"
 	"gosvm/internal/mem"
@@ -92,9 +93,11 @@ type System struct {
 	// Crash-recovery state (recover.go). rec is nil unless the run has
 	// crashes or replication; fatal is set (with the kernel stopped) when
 	// a crash is unrecoverable; liveWorkers gates the checkpoint timers.
+	// Workers finish on different lanes in a parallel run, so the counter
+	// is atomic (recovery itself always runs sequentially).
 	rec         *recovery
 	fatal       error
-	liveWorkers int
+	liveWorkers atomic.Int32
 
 	// traceLog, when non-nil, captures protocol events.
 	traceLog *trace.Log
@@ -118,6 +121,25 @@ type Result struct {
 	Trace *trace.Log
 }
 
+// lpParallel decides whether this run can use the partitioned parallel
+// kernel. The gated-out configurations all thread some globally ordered
+// state through the event loop — mesh link occupancy, the fault
+// injector's sequential RNG stream, recovery's global watchdog and
+// checkpoint machinery, the shared trace log, and phase capture's
+// cross-node stat snapshots — so they keep the sequential kernel, where
+// byte-identity at any -run-workers value holds trivially.
+func lpParallel(opts *Options, capturePhases bool) bool {
+	return opts.RunWorkers >= 2 &&
+		opts.NumProcs > 1 &&
+		opts.Protocol != ProtoSeq &&
+		!opts.Mesh &&
+		!opts.Fault.Active() &&
+		!opts.Recovery.Enabled() &&
+		opts.TraceLimit == 0 &&
+		!capturePhases &&
+		opts.Costs.Lookahead() > 0
+}
+
 // Run executes app under opts and returns the gathered results and
 // statistics.
 func Run(opts Options, app App, capturePhases bool) (*Result, error) {
@@ -130,6 +152,13 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 	}
 
 	k := sim.NewKernel()
+	if lpParallel(&opts, capturePhases) {
+		// One lane per node: each node's dispatchers and worker advance
+		// inside a conservative window bounded by the minimum cross-node
+		// message latency. Must happen before paragon.New spawns the
+		// dispatcher procs onto their lanes.
+		k.Partition(opts.NumProcs, opts.Costs.Lookahead(), opts.RunWorkers)
+	}
 	machine := paragon.New(k, opts.NumProcs, opts.Costs)
 	if opts.Mesh || opts.Fault.LinkLevel() {
 		// Link-level faults are defined on mesh links, so they imply the
@@ -245,18 +274,18 @@ func Run(opts Options, app App, capturePhases bool) (*Result, error) {
 
 	// Phase 5: run workers.
 	sys.appProcs = make([]*sim.Proc, opts.NumProcs)
-	sys.liveWorkers = opts.NumProcs
+	sys.liveWorkers.Store(int32(opts.NumProcs))
 	perProcEnd := make([]sim.Time, opts.NumProcs)
 	endStats := make([]stats.Node, opts.NumProcs)
 	var gathered []float64
 	for i := 0; i < opts.NumProcs; i++ {
 		i := i
-		sys.appProcs[i] = k.Spawn(fmt.Sprintf("app%d", i), 0, func(p *sim.Proc) {
+		sys.appProcs[i] = k.SpawnOn(i, fmt.Sprintf("app%d", i), 0, func(p *sim.Proc) {
 			machine.Nodes[i].CPU.Bind(p)
 			c := newCtx(sys, i, p)
 			app.Worker(c, i)
 			perProcEnd[i] = p.Now()
-			sys.liveWorkers--
+			sys.liveWorkers.Add(-1)
 			// Snapshot before the (untimed) gather phase so reported
 			// statistics cover exactly the parallel execution.
 			endStats[i] = machine.Nodes[i].Stats.Snapshot()

@@ -108,9 +108,10 @@ func (m *Machine) EnableFaults(inj *fault.Injector) {
 	}
 }
 
-// Down reports whether node is inside a crash outage window right now.
+// Down reports whether node is inside a crash outage window right now
+// (by node's own lane clock).
 func (m *Machine) Down(node int) bool {
-	return m.inj != nil && m.inj.Down(node, m.K.Now())
+	return m.inj != nil && m.inj.Down(node, m.K.LaneNow(node))
 }
 
 // outage stretches compute work d on node across any crash window it
@@ -120,7 +121,7 @@ func (m *Machine) outage(node int, d sim.Time) (sim.Time, bool) {
 	if m.inj == nil {
 		return d, false
 	}
-	return m.inj.Stall(node, m.K.Now(), d)
+	return m.inj.Stall(node, m.K.LaneNow(node), d)
 }
 
 // RecallPending withdraws every unacknowledged request to the dead node
@@ -138,7 +139,7 @@ func (m *Machine) scale(node int, d sim.Time) sim.Time {
 	if m.inj == nil {
 		return d
 	}
-	return m.inj.Slow(node, m.K.Now(), d)
+	return m.inj.Slow(node, m.K.LaneNow(node), d)
 }
 
 // Node is one Paragon node: compute processor, communication co-processor,
@@ -170,7 +171,7 @@ func (n *Node) InstallCoproc(h Handler) { n.coprocH = h }
 
 func (n *Node) startDispatchers() {
 	k := n.M.K
-	k.Spawn(fmt.Sprintf("n%d.intr", n.ID), 0, func(p *sim.Proc) {
+	k.SpawnOn(n.ID, fmt.Sprintf("n%d.intr", n.ID), 0, func(p *sim.Proc) {
 		for {
 			m := n.computeQ.Recv(p)
 			work, effect := n.computeH(m)
@@ -193,7 +194,7 @@ func (n *Node) startDispatchers() {
 			}
 		}
 	}).SetDaemon()
-	k.Spawn(fmt.Sprintf("n%d.coproc", n.ID), 0, func(p *sim.Proc) {
+	k.SpawnOn(n.ID, fmt.Sprintf("n%d.coproc", n.ID), 0, func(p *sim.Proc) {
 		for {
 			m := n.coprocQ.Recv(p)
 			work, effect := n.coprocH(m)
@@ -221,12 +222,12 @@ func (n *Node) arrivalTime(to, size int, ordered bool) (at sim.Time, ok bool) {
 		// delay and link contention for the payload.
 		bw := n.M.Costs.BandwidthMBs * 1e6
 		tx := sim.Time(float64(size+n.M.Costs.MsgHeader) / bw * float64(sim.Second))
-		at, ok = ms.deliver(n.M.K.Now()+n.M.Costs.MsgLatency, n.ID, to, tx)
+		at, ok = ms.deliver(n.M.K.LaneNow(n.ID)+n.M.Costs.MsgLatency, n.ID, to, tx)
 		if !ok {
 			return 0, false
 		}
 	} else {
-		at = n.M.K.Now() + n.M.Costs.Wire(size)
+		at = n.M.K.LaneNow(n.ID) + n.M.Costs.Wire(size)
 	}
 	if !ordered {
 		return at, true
@@ -270,9 +271,11 @@ func (n *Node) Send(to int, msg Msg) {
 	dst := n.M.Nodes[to]
 	// Link-level drops only exist with a fault plan, which routes all
 	// inter-node traffic through the fault layer above — this arrival is
-	// always ok.
+	// always ok. The delivery is posted from this node's lane to the
+	// destination's: on a partitioned kernel it becomes a window-boundary
+	// handoff, on an unpartitioned one a plain event.
 	at, _ := n.arrivalTime(to, msg.Size, true)
-	n.M.K.At(at, func() { dst.enqueue(msg) })
+	n.M.K.Post(n.ID, to, at, func() { dst.enqueue(msg) })
 }
 
 // Call sends a request and blocks p until the reply arrives. The reply is
@@ -302,7 +305,7 @@ func (n *Node) Respond(req Msg, resp Msg) {
 	n.Stats.Sent(resp.Class, resp.Size+n.M.Costs.MsgHeader)
 	reply := req.Reply
 	at, _ := n.arrivalTime(to, resp.Size, true)
-	n.M.K.At(at, func() { reply.ch.Push(resp) })
+	n.M.K.Post(n.ID, to, at, func() { reply.ch.Push(resp) })
 }
 
 // PostCoproc posts a request from the compute processor to the local

@@ -220,7 +220,11 @@ func (fl *faultLayer) putOnWire(n *Node, nm *netMsg, size int, v fault.Verdict) 
 		fl.linkDropped(nm)
 	} else {
 		nm.inflight++
-		fl.m.K.At(at+v.Delay, func() { fl.arrive(nm) })
+		// Arrivals go through the same src->dst handoff path as fault-free
+		// sends. (Fault runs always execute on an unpartitioned kernel —
+		// the transport's dedup/pending maps are global — so this is the
+		// plain event path; the routing just stays uniform.)
+		fl.m.K.Post(nm.src, nm.dst, at+v.Delay, func() { fl.arrive(nm) })
 	}
 	if v.Duplicate {
 		at2, ok := n.arrivalTime(nm.dst, size, false)
@@ -229,7 +233,7 @@ func (fl *faultLayer) putOnWire(n *Node, nm *netMsg, size int, v fault.Verdict) 
 			return
 		}
 		nm.inflight++
-		fl.m.K.At(at2, func() { fl.arrive(nm) })
+		fl.m.K.Post(nm.src, nm.dst, at2, func() { fl.arrive(nm) })
 	}
 }
 
@@ -315,7 +319,9 @@ func (fl *faultLayer) sendAck(nm *netMsg) {
 		fl.m.Nodes[nm.dst].Stats.Counts.MsgsDropped++
 		return
 	}
-	fl.m.K.After(fl.m.Costs.Wire(ackBytes), func() { fl.ackArrived(nm) })
+	fl.m.K.Post(nm.dst, nm.src,
+		fl.m.K.LaneNow(nm.dst)+fl.m.Costs.Wire(ackBytes),
+		func() { fl.ackArrived(nm) })
 }
 
 func (fl *faultLayer) ackArrived(nm *netMsg) {

@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"gosvm/internal/core"
+	"gosvm/internal/sim"
+)
+
+// TestParallelKernelServeSmoke is the CI parallel-kernel serve smoke
+// (run under -race): an 8-node open-loop serving run on the partitioned
+// kernel at -run-workers 4 must produce stats byte-identical to the
+// sequential kernel, including the latency histogram block.
+func TestParallelKernelServeSmoke(t *testing.T) {
+	cfg := Config{
+		Keys:        512,
+		OfferedLoad: 4000,
+		Window:      40 * sim.Millisecond,
+		ZipfTheta:   0.9,
+		Seed:        7,
+	}
+	run := func(workers int) string {
+		opts := core.Options{RunWorkers: workers}
+		_, res := runServe(t, cfg, core.ProtoHLRC, 8, opts)
+		var buf bytes.Buffer
+		if err := res.Stats.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.String()
+	}
+	ref := run(1)
+	if got := run(4); got != ref {
+		t.Fatalf("workers=4 serve stats diverge from workers=1:\n--- w=1 ---\n%s\n--- w=4 ---\n%s", ref, got)
+	}
+}

@@ -25,6 +25,8 @@ const sleepReason = "sleep"
 // Unpark, which is called from another proc or an event callback.
 type Proc struct {
 	k    *Kernel
+	ln   *lane // owning lane; the single lane on an unpartitioned kernel
+	id   int   // spawn index, stable across runs; orders deadlock reports
 	name string
 
 	resume  chan struct{} // scheduler -> proc: run
@@ -45,11 +47,25 @@ type Proc struct {
 	panicked any // panic value from the proc body, re-raised by run
 }
 
-// Spawn creates a process executing fn, starting at time at. The name is
-// used in deadlock reports.
+// Spawn creates a process executing fn, starting at time at, on lane 0.
+// The name is used in deadlock reports.
 func (k *Kernel) Spawn(name string, at Time, fn func(p *Proc)) *Proc {
+	return k.SpawnOn(0, name, at, fn)
+}
+
+// SpawnOn creates a process on the given lane. On an unpartitioned
+// kernel every lane index maps to lane 0, so callers can pass their node
+// id unconditionally. Spawning is only legal during setup (or from the
+// owning lane itself on an unpartitioned kernel); the windowed scheduler
+// never spawns mid-run.
+func (k *Kernel) SpawnOn(laneIdx int, name string, at Time, fn func(p *Proc)) *Proc {
+	if k.running {
+		panic("sim: Spawn during a partitioned run")
+	}
 	p := &Proc{
 		k:          k,
+		ln:         k.laneFor(laneIdx),
+		id:         len(k.procs),
 		name:       name,
 		resume:     make(chan struct{}),
 		yielded:    make(chan struct{}),
@@ -83,8 +99,8 @@ func (p *Proc) Name() string { return p.name }
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
 
-// Now returns the current simulated time.
-func (p *Proc) Now() Time { return p.k.now }
+// Now returns the current simulated time of the proc's lane.
+func (p *Proc) Now() Time { return p.ln.now }
 
 // Done reports whether the proc body has returned.
 func (p *Proc) Done() bool { return p.done }
@@ -112,10 +128,10 @@ func (p *Proc) run() {
 		return
 	}
 	p.started = true
-	p.k.current = p
+	p.ln.current = p
 	p.resume <- struct{}{}
 	<-p.yielded
-	p.k.current = nil
+	p.ln.current = nil
 	if p.panicked != nil {
 		r := p.panicked
 		p.panicked = nil
@@ -142,7 +158,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %d", d))
 	}
-	p.k.atRun(p.k.now+d, p)
+	p.k.atRun(p.ln.now+d, p)
 	p.yield(sleepReason, int64(d))
 }
 
@@ -169,18 +185,21 @@ func (p *Proc) ParkArg(reason string, arg int64) {
 	p.yield(reason, arg)
 }
 
-// Unpark makes p runnable at the current simulated time. If p is not
-// parked, the permit is remembered and consumed by the next Park. Unpark
-// must not be called from p itself.
+// Unpark makes p runnable at the current simulated time of p's lane. If
+// p is not parked, the permit is remembered and consumed by the next
+// Park. Unpark must not be called from p itself, and on a partitioned
+// kernel only from code executing on p's own lane (all cross-node
+// wakeups in this codebase arrive as messages, which already hop lanes
+// through Post).
 func (p *Proc) Unpark() {
-	if p.k.current == p {
+	if p.ln.current == p {
 		panic("sim: proc unparked itself")
 	}
 	if p.permit {
 		return // already has a pending permit
 	}
 	p.permit = true
-	p.k.atUnpark(p.k.now, p)
+	p.k.atUnpark(p.ln.now, p)
 }
 
 // Shutdown unwinds every live process so their goroutines exit. Call after
