@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check sweep-faults sweep-rto sweep-serve sweep-scale bench bench-json
+.PHONY: all build test race vet fmt check sweep-faults sweep-rto sweep-serve sweep-serve-scale sweep-scale bench bench-json
 
 all: check
 
@@ -39,6 +39,14 @@ sweep-rto:
 # latency, saturation detection, and per-cell JSON latency histograms.
 sweep-serve:
 	$(GO) run ./cmd/svmserve -loads 500,1000,2000,4000 -procs 4,8 -json-dir out/serve
+
+# Serving at scale: the fast-path ablation ladder on 64 -> 1024 nodes
+# under modern (kernel-bypass) costs, with the parallel kernel carrying
+# each run. Home hot-spot skew (max/mean serviced messages) is the
+# per-cell Skew column.
+sweep-serve-scale:
+	$(GO) run ./cmd/svmserve -procs 64,256,1024 -costs modern -run-workers 8 \
+		-loads 200000,800000 -protocols hlrc,ohlrc -ablation all -q
 
 # Strong-scaling curves 64 -> 1024 nodes on the paper's SOR grid:
 # speedup, traffic split, home hot-spot skew, and protocol memory per

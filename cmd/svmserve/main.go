@@ -10,6 +10,9 @@
 //	svmserve -loads 500,1000,2000,4000 -procs 4,8
 //	svmserve -faults crash -window-ms 60       # tail latency under a mid-run crash
 //	svmserve -arrival bursty -zipf 0.99 -mix 50,40,10
+//	svmserve -ablation all                     # fast-path ladder: off,locks,seqlock,batch,all
+//	svmserve -key-locks 8 -seqlock -batch-window 200 -pipeline
+//	svmserve -closed-loop 32,128 -think-ms 1   # closed-loop comparison table
 //	svmserve -json-dir out/serve               # per-cell JSON with full histograms
 //
 // Output is byte-identical at any -parallel level for a fixed seed.
@@ -44,6 +47,14 @@ func main() {
 		arrival   = flag.String("arrival", "poisson", "arrival process: poisson or bursty (MMPP-2)")
 		burst     = flag.Float64("burst", 3, "bursty arrival burst-state rate multiplier")
 		serviceUs = flag.Float64("service-us", 5, "modeled per-op compute time, microseconds")
+		keyLocks  = flag.Int("key-locks", 0, "lock stripes per shard (0 = one lock per shard)")
+		seqlock   = flag.Bool("seqlock", false, "lock-free validated reads (home-based protocols)")
+		batchUs   = flag.Float64("batch-window", 0, "request-batching window, microseconds (0 = off)")
+		maxBatch  = flag.Int("max-batch", 0, "max ops coalesced per critical section (0 = default 16)")
+		pipeline  = flag.Bool("pipeline", false, "prefetch the next shard's page under the current critical section")
+		ablation  = flag.String("ablation", "", "sweep fast-path ablation modes (\"all\" = off,locks,seqlock,batch,all; or a comma list), overriding the individual fast-path flags")
+		closed    = flag.String("closed-loop", "", "closed-loop client counts to compare (comma list; empty = open loop only)")
+		thinkMs   = flag.Float64("think-ms", 1, "closed-loop mean think time, milliseconds")
 		ff        = cliflags.AddFaultBasic(flag.CommandLine, "")
 		parallel  = cliflags.AddParallel(flag.CommandLine)
 		runWkrs   = cliflags.AddRunWorkers(flag.CommandLine)
@@ -121,6 +132,37 @@ func main() {
 		BurstFactor: *burst,
 		ServiceNs:   sim.Time(*serviceUs * float64(sim.Microsecond)),
 		Seed:        ff.Seed,
+		KeyLocks:    *keyLocks,
+		Seqlock:     *seqlock,
+		BatchWindow: sim.Time(*batchUs * float64(sim.Microsecond)),
+		MaxBatch:    *maxBatch,
+		Pipeline:    *pipeline,
+	}
+
+	var modes []string
+	switch *ablation {
+	case "":
+	case "all":
+		modes = serve.Modes
+	default:
+		for _, s := range strings.Split(*ablation, ",") {
+			m := strings.TrimSpace(s)
+			if err := serve.ApplyFastpath(&serve.Config{}, m); err != nil {
+				fail("%v", err)
+			}
+			modes = append(modes, m)
+		}
+	}
+
+	var clients []int
+	if *closed != "" {
+		for _, s := range strings.Split(*closed, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fail("bad -closed-loop entry %q", s)
+			}
+			clients = append(clients, n)
+		}
 	}
 
 	opts := bench.ServeSweepOpts{
@@ -129,6 +171,9 @@ func main() {
 		Protos:  protos,
 		Profile: ff.Profile,
 		Seed:    ff.Seed,
+		Modes:   modes,
+		Closed:  clients,
+		Think:   sim.Time(*thinkMs * float64(sim.Millisecond)),
 	}
 	if err := r.ServeSweep(os.Stdout, opts, *jsonDir); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -301,6 +301,9 @@ func (b *base) Acquire(lock int) {
 		owner := b.mgrOwner(lock)
 		b.mgrSetOwner(lock, b.self)
 		req.Kind = kLockFwd
+		if owner != b.self {
+			b.st().Counts.LockForwards++
+		}
 		t0 := b.app().Now()
 		resp = b.node.Call(b.app(), owner, req)
 		b.st().Add(stats.CatLock, b.app().Now()-t0)
@@ -336,6 +339,7 @@ func (b *base) Release(lock int) {
 	lr := head.Body.(*lockReq)
 	b.grantTo(head, lr)
 	// Any remaining queued requests chase the new owner.
+	b.st().Counts.LockForwards += int64(len(rest))
 	for _, m := range rest {
 		b.node.Send(lr.Requester, m)
 	}
@@ -379,6 +383,7 @@ func (b *base) handleLockAcq(m paragon.Msg) (sim.Time, func()) {
 			b.ownerReceives(m, lr)
 			return
 		}
+		b.st().Counts.LockForwards++
 		b.node.Send(owner, m)
 	}
 }

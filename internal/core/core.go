@@ -190,20 +190,22 @@ func (o *Options) Overlapped() bool {
 
 // Message kinds.
 const (
-	kLockAcq     = iota + 1 // requester -> lock manager
-	kLockFwd                // manager -> current owner
-	kBarrier                // node -> barrier manager
-	kGCDone                 // node -> barrier manager (homeless GC rendezvous)
-	kFetchDiffs             // faulting node -> writer (LRC/OLRC)
-	kFetchPage              // faulting node -> copy holder / home
-	kDiffFlush              // writer -> home (HLRC), or coproc-to-home (OHLRC)
-	kMakeDiff               // compute -> own coproc (overlapped protocols)
-	kMirror                 // home -> replica: mirrored diff or checkpoint page
-	kCkptNote               // home -> writers: checkpoint coverage (prune diff logs)
-	kRecoverPull            // new home -> writers: replay logged diffs
-	kNodeDead               // recovery -> all: node declared dead, homes moved
-	kBarrierUp              // tree barrier: child -> parent subtree report
-	kBarrierDown            // tree barrier: parent -> child subtree release
+	kLockAcq      = iota + 1 // requester -> lock manager
+	kLockFwd                 // manager -> current owner
+	kBarrier                 // node -> barrier manager
+	kGCDone                  // node -> barrier manager (homeless GC rendezvous)
+	kFetchDiffs              // faulting node -> writer (LRC/OLRC)
+	kFetchPage               // faulting node -> copy holder / home
+	kDiffFlush               // writer -> home (HLRC), or coproc-to-home (OHLRC)
+	kMakeDiff                // compute -> own coproc (overlapped protocols)
+	kMirror                  // home -> replica: mirrored diff or checkpoint page
+	kCkptNote                // home -> writers: checkpoint coverage (prune diff logs)
+	kRecoverPull             // new home -> writers: replay logged diffs
+	kNodeDead                // recovery -> all: node declared dead, homes moved
+	kBarrierUp               // tree barrier: child -> parent subtree report
+	kBarrierDown             // tree barrier: parent -> child subtree release
+	kPrefetch                // reader -> home: asynchronous page prefetch request
+	kPrefetchResp            // home -> reader: best-effort page snapshot
 )
 
 // IntervalRec is the write-notice record for one interval: the pages the
@@ -316,6 +318,10 @@ func msgKindName(kind int) string {
 		return "barrier-up"
 	case kBarrierDown:
 		return "barrier-down"
+	case kPrefetch:
+		return "prefetch"
+	case kPrefetchResp:
+		return "prefetch-resp"
 	}
 	return fmt.Sprintf("kind-%d", kind)
 }

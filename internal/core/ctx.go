@@ -119,6 +119,51 @@ func (c *Ctx) Wait(d sim.Time) {
 // by open-loop clients to hold requests until their arrival time.
 func (c *Ctx) WaitUntil(t sim.Time) { c.Wait(t - c.proc.Now()) }
 
+// fresher is implemented by engines whose protocol keeps an
+// authoritative per-page copy a lock-free read can validate against
+// (the home-based family).
+type fresher interface {
+	FreshRead(page int) bool
+}
+
+// prefetcher is implemented by engines that can pull a page
+// asynchronously, without blocking the application processor.
+type prefetcher interface {
+	Prefetch(page int)
+}
+
+// FreshRead revalidates the page containing a against its authoritative
+// copy before a lock-free read: under the home-based protocols any
+// cached local copy is dropped and the home's current copy is fetched
+// in one round trip, so subsequent Loads of the page observe a single
+// atomic snapshot that is at least as new as everything this node is
+// required to see. Pages this node homes, or has modified in the open
+// interval, are read in place (they are already the freshest view this
+// node can have). Returns false when the protocol has no authoritative
+// copy to validate against — the homeless LRC family learns of remote
+// writes only through synchronization — in which case the caller must
+// take the lock instead.
+func (c *Ctx) FreshRead(a mem.Addr) bool {
+	f, ok := c.eng.(fresher)
+	if !ok {
+		return false
+	}
+	return f.FreshRead(int(int64(a) / int64(c.pw)))
+}
+
+// Prefetch hints that the page containing a will be read soon: engines
+// that support it issue an asynchronous best-effort fetch from the
+// page's home, so the transfer overlaps whatever the application does
+// next (the serving fast path overlaps it with the previous batch's
+// critical section). Never blocks; a no-op for protocols without a
+// home, for locally valid or self-homed pages, and while a prefetch for
+// the page is already in flight.
+func (c *Ctx) Prefetch(a mem.Addr) {
+	if p, ok := c.eng.(prefetcher); ok {
+		p.Prefetch(int(int64(a) / int64(c.pw)))
+	}
+}
+
 // Lock acquires the given lock (Splash-2 LOCK).
 func (c *Ctx) Lock(l int) { c.eng.Acquire(l) }
 

@@ -57,6 +57,10 @@ type hlrcPage struct {
 	// the twin is in use and the next write must wait.
 	inflight   bool
 	twinWaiter []*sim.Proc
+
+	// prefetching marks an asynchronous prefetch in flight for this page
+	// (suppresses duplicates until the response lands).
+	prefetching bool
 }
 
 type fetchPageReq struct {
@@ -65,6 +69,23 @@ type fetchPageReq struct {
 }
 
 type fetchPageResp struct {
+	Data    []float64
+	FlushVC *vc.Sparse
+}
+
+// prefetchReq/prefetchResp carry the asynchronous best-effort page
+// prefetch (kPrefetch/kPrefetchResp). Unlike the blocking fetch, the
+// home answers immediately with whatever it has; the requester installs
+// the snapshot only if it still needs the page and the snapshot covers
+// its requirement vector.
+type prefetchReq struct {
+	Page int
+	From int
+	Need *vc.Sparse
+}
+
+type prefetchResp struct {
+	Page    int
 	Data    []float64
 	FlushVC *vc.Sparse
 }
@@ -175,6 +196,54 @@ func (e *hlrcEngine) ReadFault(page int) {
 	seen.MaxWith(pr.FlushVC)
 	e.st().Counts.PagesFetched++
 	e.emit(trace.PageFetch, page, e.home(page), 0)
+}
+
+// FreshRead implements the serving fast path's lock-free read
+// revalidation (Ctx.FreshRead): drop any cached copy of the page and
+// re-fetch the home's current copy, so the caller's subsequent Loads
+// observe one atomic, up-to-date snapshot. A page this node has written
+// in the open interval is read in place (its own writes are the
+// freshest view it can legally observe, and merging remote diffs into a
+// dirty copy is the home's job, not ours); so is a self-homed page,
+// after waiting out any in-flight diffs the node is required to see.
+func (e *hlrcEngine) FreshRead(page int) bool {
+	p := e.pt.Page(page)
+	if p.State == mem.ReadWrite {
+		return true
+	}
+	if e.home(page) == e.self && p.State != mem.Invalid {
+		return true
+	}
+	if p.State == mem.ReadOnly {
+		// Drop the possibly stale cached copy; charge the reprotect.
+		e.use(e.costs().PageProtect, stats.CatProtocol)
+		p.State = mem.Invalid
+	}
+	e.ReadFault(page)
+	return true
+}
+
+// Prefetch implements Ctx.Prefetch: a fire-and-forget page pull from
+// the home, serviced on the co-processor under the overlapped
+// protocols. The response installs the page only if it is still
+// invalid here and the snapshot covers this node's requirement vector;
+// otherwise it is dropped (best effort — correctness never depends on
+// a prefetch landing).
+func (e *hlrcEngine) Prefetch(page int) {
+	p := e.pt.Page(page)
+	m := e.pages.at(page)
+	if p.State != mem.Invalid || e.home(page) == e.self || m.prefetching {
+		return
+	}
+	m.prefetching = true
+	e.st().Counts.Prefetches++
+	e.node.Send(e.home(page), paragon.Msg{
+		Kind:   kPrefetch,
+		Size:   8 + e.clock.WireSize(),
+		Class:  stats.ClassProtocol,
+		Target: e.dataTarget(),
+		Body:   &prefetchReq{Page: page, From: e.self, Need: m.seen.Copy()},
+	})
 }
 
 func (e *hlrcEngine) WriteFault(page int) {
@@ -399,6 +468,10 @@ func (e *hlrcEngine) handleCompute(m paragon.Msg) (sim.Time, func()) {
 		return e.handleFetchPage(m)
 	case kDiffFlush:
 		return e.handleDiffFlush(m)
+	case kPrefetch:
+		return e.handlePrefetch(m)
+	case kPrefetchResp:
+		return e.handlePrefetchResp(m)
 	case kMirror:
 		return e.handleMirror(m)
 	case kCkptNote:
@@ -417,6 +490,10 @@ func (e *hlrcEngine) handleCoproc(m paragon.Msg) (sim.Time, func()) {
 		return e.handleFetchPage(m)
 	case kDiffFlush:
 		return e.handleDiffFlush(m)
+	case kPrefetch:
+		return e.handlePrefetch(m)
+	case kPrefetchResp:
+		return e.handlePrefetchResp(m)
 	case kMirror:
 		return e.handleMirror(m)
 	case kCkptNote:
@@ -598,6 +675,54 @@ func (e *hlrcEngine) respondFetch(req paragon.Msg, fr *fetchPageReq) {
 		Class: stats.ClassData,
 		Body:  &fetchPageResp{Data: data, FlushVC: f.Copy()},
 	})
+}
+
+// handlePrefetch runs at the home: answer immediately with the current
+// copy and flush vector. No parking — if the snapshot is older than the
+// requester needs, the requester drops it and its eventual blocking
+// fetch waits at the home as usual.
+func (e *hlrcEngine) handlePrefetch(m paragon.Msg) (sim.Time, func()) {
+	return 0, func() {
+		pr := m.Body.(*prefetchReq)
+		if e.home(pr.Page) != e.self {
+			// Re-homed while in flight: forward to the current home.
+			e.node.Send(e.home(pr.Page), m)
+			return
+		}
+		p := e.pt.Page(pr.Page)
+		data := make([]float64, len(p.Data))
+		copy(data, p.Data)
+		f := e.flushOf(pr.Page)
+		e.node.Send(pr.From, paragon.Msg{
+			Kind:   kPrefetchResp,
+			Size:   e.sys.Space.PageBytes() + f.WireSize(),
+			Class:  stats.ClassData,
+			Target: e.dataTarget(),
+			Body:   &prefetchResp{Page: pr.Page, Data: data, FlushVC: f.Copy()},
+		})
+	}
+}
+
+// handlePrefetchResp runs at the requester: install the snapshot if the
+// page is still invalid and the snapshot covers everything this node is
+// required to see; otherwise drop it.
+func (e *hlrcEngine) handlePrefetchResp(m paragon.Msg) (sim.Time, func()) {
+	return 0, func() {
+		resp := m.Body.(*prefetchResp)
+		pm := e.pages.at(resp.Page)
+		pm.prefetching = false
+		p := e.pt.Page(resp.Page)
+		if p.State != mem.Invalid || !covers(resp.FlushVC, pm.seen) {
+			return
+		}
+		pp := e.pt.Materialize(resp.Page)
+		copy(pp.Data, resp.Data)
+		pp.State = mem.ReadOnly
+		seen := e.seenOf(resp.Page)
+		seen.MaxWith(resp.FlushVC)
+		e.st().Counts.PagesFetched++
+		e.emit(trace.PageFetch, resp.Page, m.From, 0)
+	}
 }
 
 // Finish waits out any co-processor diffs still in flight and asserts the

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"gosvm/internal/core"
+	"gosvm/internal/sim"
+)
+
+// clientsOf returns how many closed-loop clients node id hosts: the
+// population spreads round-robin, low ids taking the remainder.
+func (kv *KV) clientsOf(id int) int {
+	n := kv.cfg.ClosedClients / kv.procs
+	if id < kv.cfg.ClosedClients%kv.procs {
+		n++
+	}
+	return n
+}
+
+// closedClient is one closed-loop client's state: its private rng and
+// the time its next request is due (issue time, not service time).
+type closedClient struct {
+	rng  *rng
+	next sim.Time
+}
+
+// closedWorker multiplexes node id's closed-loop clients over the
+// single server: each client issues one request, waits for its
+// completion, thinks (exponential, mean ThinkTime), and issues again.
+// Demand therefore tracks service capacity — the closed population can
+// saturate the server but never builds the unbounded backlog an
+// overloaded open loop does, which is exactly the contrast the
+// open-vs-closed sweep measures. Requests are drawn at issue time from
+// the same key and op-mix distributions as the open-loop traces;
+// executed put deltas accumulate per node so finalizeExpected can
+// reconstruct the exact final store contents.
+func (kv *KV) closedWorker(c *core.Ctx, id int) {
+	nc := kv.clientsOf(id)
+	if nc == 0 {
+		return
+	}
+	h := kv.hists[id]
+	scratch := make([]float64, kv.cfg.ScanLen)
+	deltas := kv.closedDeltas[id]
+	mean := 1 / (float64(kv.cfg.ThinkTime) / float64(sim.Second)) // thinks per second
+	clients := make([]closedClient, nc)
+	for i := range clients {
+		r := newRNG(scramble(uint64(kv.cfg.Seed)) ^ scramble(uint64(id)*0x10001+uint64(i)+0xc105ed))
+		clients[i] = closedClient{rng: r, next: r.exp(mean)}
+	}
+	for {
+		// Serve the earliest due client still inside the window. The
+		// window bounds issue times, not completions, so the run drains
+		// cleanly instead of truncating in-flight requests.
+		sel := -1
+		for i := range clients {
+			if clients[i].next < kv.cfg.Window && (sel < 0 || clients[i].next < clients[sel].next) {
+				sel = i
+			}
+		}
+		if sel < 0 {
+			return
+		}
+		cl := &clients[sel]
+		c.WaitUntil(cl.next)
+		start := c.Now()
+		req := kv.drawReq(cl.rng)
+		req.At = cl.next
+		kv.serveOne(c, id, &req, scratch)
+		if req.Op == OpPut {
+			deltas[req.Key] += float64(req.Delta)
+		}
+		h.Record(c.Now() - req.At)
+		kv.busy[id] += c.Now() - start
+		kv.lastDone[id] = c.Now()
+		cl.next = c.Now() + cl.rng.exp(mean)
+	}
+}
+
+// finalizeExpected folds the closed-loop deltas each node executed into
+// the expected final store contents. A no-op in open-loop mode, where
+// the trace fixed expected at construction. Must run after the workers
+// finish and before Validate.
+func (kv *KV) finalizeExpected() {
+	if kv.cfg.ClosedClients == 0 {
+		return
+	}
+	kv.expected = append([]float64(nil), kv.initVals...)
+	for _, deltas := range kv.closedDeltas {
+		for k, d := range deltas {
+			kv.expected[k] += d
+		}
+	}
+}

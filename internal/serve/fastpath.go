@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"fmt"
+
+	"gosvm/internal/core"
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+)
+
+// Fast-path ablation modes, cumulative: each mode keeps everything the
+// previous one enabled and adds one optimization, so a sweep over the
+// ladder isolates each layer's contribution.
+const (
+	// ModeOff is the PR-6 baseline: one lock per shard, every op locked.
+	ModeOff = "off"
+	// ModeLocks adds striped per-key locks (KeyLocks = 8).
+	ModeLocks = "locks"
+	// ModeSeqlock adds seqlock-validated lock-free gets and scans.
+	ModeSeqlock = "seqlock"
+	// ModeBatch adds same-lock request batching (200µs window).
+	ModeBatch = "batch"
+	// ModeAll adds cross-shard prefetch pipelining.
+	ModeAll = "all"
+)
+
+// Modes lists the ablation ladder in cumulative order.
+var Modes = []string{ModeOff, ModeLocks, ModeSeqlock, ModeBatch, ModeAll}
+
+// ApplyFastpath overwrites cfg's fast-path knobs according to the named
+// ablation mode. Unknown modes return an error.
+func ApplyFastpath(cfg *Config, mode string) error {
+	cfg.KeyLocks, cfg.Seqlock, cfg.BatchWindow, cfg.Pipeline = 0, false, 0, false
+	switch mode {
+	case ModeAll:
+		cfg.Pipeline = true
+		fallthrough
+	case ModeBatch:
+		cfg.BatchWindow = 200 * sim.Microsecond
+		fallthrough
+	case ModeSeqlock:
+		cfg.Seqlock = true
+		fallthrough
+	case ModeLocks:
+		cfg.KeyLocks = 8
+	case ModeOff, "":
+	default:
+		return fmt.Errorf("serve: unknown fast-path mode %q (have %v)", mode, Modes)
+	}
+	return nil
+}
+
+// lockOf maps a key to its lock id. Without striping every key of a
+// shard shares lock id == shard. With striping the key hashes to one of
+// KeyLocks stripes and the lock id is shard + Shards*stripe — congruent
+// to the shard mod P whenever Shards is a multiple of P, so the stripe
+// manager still lives on the shard's home node.
+func (kv *KV) lockOf(key int32) int {
+	sh := int(kv.keyShard[key])
+	if kv.cfg.KeyLocks <= 1 {
+		return sh
+	}
+	stripe := int(scramble(uint64(key)+0x57a1de) % uint64(kv.cfg.KeyLocks))
+	return sh + kv.shards*stripe
+}
+
+// lockFree reports whether op is eligible for the seqlock-validated
+// lock-free path. Puts always lock: the lock is what makes the
+// read-modify-write atomic and what cycles the version word.
+func (kv *KV) lockFree(op Op) bool {
+	return kv.cfg.Seqlock && op != OpPut
+}
+
+// serveOne serves a single request: lock-free when eligible and the
+// validation succeeds, otherwise under the key's lock. The locked
+// fallback is also the correctness backstop for torn reads — acquiring
+// the lock chases the writer, which forces the writer's open interval
+// closed (its diffs flush to the home), so the re-read is guaranteed an
+// even version.
+func (kv *KV) serveOne(c *core.Ctx, id int, r *Req, scratch []float64) {
+	if kv.lockFree(r.Op) && kv.serveLockFree(c, id, r, scratch) {
+		return
+	}
+	l := kv.lockOf(r.Key)
+	c.Lock(l)
+	kv.applyLocked(c, id, r, scratch)
+	c.Unlock(l)
+}
+
+// serveLockFree attempts the seqlock read path. It returns false when
+// the protocol has no authoritative copy to validate against (homeless
+// LRC family) or the version stayed odd through every retry; the caller
+// then takes the locked path and counts a fallback.
+func (kv *KV) serveLockFree(c *core.Ctx, id int, r *Req, scratch []float64) bool {
+	var ok bool
+	if r.Op == OpGet {
+		ok = kv.seqGet(c, id, r.Key)
+	} else {
+		ok = kv.seqScan(c, id, r, scratch)
+	}
+	if !ok {
+		kv.seqFallbacks[id]++
+		return false
+	}
+	kv.seqReads[id]++
+	if r.Op == OpGet {
+		c.Compute(kv.cfg.ServiceNs)
+		kv.ops[id][0]++
+	}
+	return true
+}
+
+// seqGet reads one key lock-free: revalidate the page against its home,
+// read the version word, and accept the value only if the version is
+// even (no writer mid-critical-section when the page copy was taken).
+// The version and value share a page, so the pair is a single atomic
+// snapshot — a torn read can only manifest as an odd version.
+func (kv *KV) seqGet(c *core.Ctx, id int, key int32) bool {
+	a := kv.addrOf(key)
+	for try := 0; ; try++ {
+		if !c.FreshRead(a) {
+			return false
+		}
+		if c.LoadI(a+1)&1 == 0 {
+			_ = c.Load(a)
+			return true
+		}
+		if try >= kv.cfg.SeqlockRetries {
+			return false
+		}
+		kv.seqRetries[id]++
+		c.Wait(kv.cfg.SeqlockBackoff)
+	}
+}
+
+// seqScan reads a run of slots lock-free, validating every slot's
+// version. Only the first page is explicitly revalidated; a scan
+// crossing into further pages reads whatever consistent copies the
+// protocol supplies (each page copy is still atomic, so per-slot
+// version checks remain sound — the scan is just not a single store
+// snapshot, which the locked path does not promise across locks
+// either). On success the scanned count is charged like the locked
+// path.
+func (kv *KV) seqScan(c *core.Ctx, id int, r *Req, scratch []float64) bool {
+	sh := int(kv.keyShard[r.Key])
+	start := int(kv.keySlot[r.Key])
+	n := kv.cfg.ScanLen
+	if max := int(kv.shardLen[sh]) - start; n > max {
+		n = max
+	}
+	base := kv.shardBase[sh] + mem.Addr(start*kv.slotWords)
+	for try := 0; ; try++ {
+		if n > 0 {
+			if !c.FreshRead(base) {
+				return false
+			}
+		}
+		torn := false
+		for j := 0; j < n; j++ {
+			v := c.Load(base + mem.Addr(2*j))
+			if c.LoadI(base+mem.Addr(2*j)+1)&1 != 0 {
+				torn = true
+				break
+			}
+			scratch[j] = v
+		}
+		if !torn {
+			c.Compute(kv.cfg.ServiceNs + sim.Time(n)*kv.cfg.ServiceNs/8)
+			kv.ops[id][2]++
+			return true
+		}
+		if try >= kv.cfg.SeqlockRetries {
+			return false
+		}
+		kv.seqRetries[id]++
+		c.Wait(kv.cfg.SeqlockBackoff)
+	}
+}
+
+// applyLocked executes one request inside an already-held critical
+// section. With the seqlock layout a put cycles the slot's version word
+// odd before the mutation and even after it, publishing the
+// inconsistent window to any lock-free reader whose page fetch lands
+// mid-interval (the writer's diffs flush early when a lock acquire
+// chases past it).
+func (kv *KV) applyLocked(c *core.Ctx, id int, r *Req, scratch []float64) {
+	switch r.Op {
+	case OpGet:
+		_ = c.Load(kv.addrOf(r.Key))
+		c.Compute(kv.cfg.ServiceNs)
+		kv.ops[id][0]++
+	case OpPut:
+		a := kv.addrOf(r.Key)
+		if kv.slotWords == 2 {
+			v := c.LoadI(a + 1)
+			c.StoreI(a+1, v+1) // odd: value is in flux
+			c.Store(a, c.Load(a)+float64(r.Delta))
+			c.Compute(kv.cfg.ServiceNs)
+			c.StoreI(a+1, v+2) // even: consistent again
+		} else {
+			c.Store(a, c.Load(a)+float64(r.Delta))
+			c.Compute(kv.cfg.ServiceNs)
+		}
+		kv.ops[id][1]++
+	case OpScan:
+		sh := int(kv.keyShard[r.Key])
+		start := int(kv.keySlot[r.Key])
+		n := kv.cfg.ScanLen
+		if max := int(kv.shardLen[sh]) - start; n > max {
+			n = max
+		}
+		if n > 0 {
+			base := kv.shardBase[sh] + mem.Addr(start*kv.slotWords)
+			if kv.slotWords == 2 {
+				for j := 0; j < n; j++ {
+					scratch[j] = c.Load(base + mem.Addr(2*j))
+				}
+			} else {
+				c.ReadRange(base, scratch[:n])
+			}
+		}
+		c.Compute(kv.cfg.ServiceNs + sim.Time(n)*kv.cfg.ServiceNs/8)
+		kv.ops[id][2]++
+	}
+}
+
+// batchWorker is the open-loop server with request batching: when the
+// head-of-queue request needs a lock, the server holds BatchWindow open
+// (unless the backlog already fills MaxBatch), then serves every queued
+// request for the same lock in one acquire -> apply-N -> release
+// critical section. FIFO order is preserved for the head; coalesced
+// followers complete early, which is exactly the point. Lock-free
+// eligible requests take no lock, so they are served singly the moment
+// they reach the head.
+func (kv *KV) batchWorker(c *core.Ctx, id int) {
+	h := kv.hists[id]
+	scratch := make([]float64, kv.cfg.ScanLen)
+	trace := kv.traces[id]
+	n := len(trace)
+	done := make([]bool, n)
+	// byLock holds arrived-but-unserved batchable requests, per lock, in
+	// arrival order. admit is the trace cursor: everything before it has
+	// been admitted (or is lock-free and served at the head).
+	byLock := make(map[int][]int32)
+	admit := 0
+	admitUpTo := func(t sim.Time) {
+		for admit < n && trace[admit].At <= t {
+			if !kv.lockFree(trace[admit].Op) {
+				l := kv.lockOf(trace[admit].Key)
+				byLock[l] = append(byLock[l], int32(admit))
+			}
+			admit++
+		}
+	}
+	next := 0 // head of the FIFO: oldest unserved request
+	for served := 0; served < n; {
+		for done[next] {
+			next++
+		}
+		r := &trace[next]
+		c.WaitUntil(r.At)
+		if kv.lockFree(r.Op) {
+			start := c.Now()
+			kv.serveOne(c, id, r, scratch)
+			h.Record(c.Now() - r.At)
+			kv.busy[id] += c.Now() - start
+			kv.lastDone[id] = c.Now()
+			done[next] = true
+			served++
+			continue
+		}
+		l := kv.lockOf(r.Key)
+		t0 := c.Now()
+		admitUpTo(t0)
+		if len(byLock[l]) < kv.cfg.MaxBatch {
+			// The server cannot know whether more same-lock requests are
+			// about to arrive, so it pays the full window (timer
+			// semantics); only an already-full backlog skips the wait.
+			c.WaitUntil(t0 + kv.cfg.BatchWindow)
+			admitUpTo(c.Now())
+		}
+		q := byLock[l]
+		take := len(q)
+		if take > kv.cfg.MaxBatch {
+			take = kv.cfg.MaxBatch
+		}
+		batch := q[:take]
+		byLock[l] = q[take:]
+		if kv.cfg.Pipeline {
+			// Prefetch the oldest waiting request on a different shard, so
+			// its page fetch overlaps this critical section.
+			sh := kv.keyShard[r.Key]
+			for k := next; k < admit; k++ {
+				if !done[k] && !kv.lockFree(trace[k].Op) && kv.keyShard[trace[k].Key] != sh {
+					c.Prefetch(kv.addrOf(trace[k].Key))
+					break
+				}
+			}
+		}
+		svc0 := c.Now()
+		kv.batches[id]++
+		kv.batchedOps[id] += int64(take)
+		if int64(take) > kv.maxBatch[id] {
+			kv.maxBatch[id] = int64(take)
+		}
+		c.Lock(l)
+		for _, idx := range batch {
+			br := &trace[idx]
+			kv.applyLocked(c, id, br, scratch)
+			h.Record(c.Now() - br.At)
+			done[idx] = true
+			served++
+		}
+		c.Unlock(l)
+		kv.busy[id] += c.Now() - svc0
+		kv.lastDone[id] = c.Now()
+	}
+}

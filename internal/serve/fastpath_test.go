@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"testing"
+
+	"gosvm/internal/core"
+	"gosvm/internal/mem"
+	"gosvm/internal/sim"
+)
+
+// TestFastpathValidatesAllProtocols: every ablation mode must serve the
+// identical trace to completion with a bitwise-correct store (Run
+// validates internally) under every protocol — including the homeless
+// LRC family, where the seqlock path silently degrades to locks.
+func TestFastpathValidatesAllProtocols(t *testing.T) {
+	protos := []core.Protocol{core.ProtoLRC, core.ProtoOLRC, core.ProtoHLRC, core.ProtoOHLRC}
+	for _, mode := range Modes {
+		for _, proto := range protos {
+			cfg := testConfig()
+			if err := ApplyFastpath(&cfg, mode); err != nil {
+				t.Fatal(err)
+			}
+			kv, res := runServe(t, cfg, proto, 4, core.Options{})
+			s := res.Stats.Serve
+			if s.Completed != kv.Generated() {
+				t.Errorf("%s/%s: completed %d of %d", mode, proto, s.Completed, kv.Generated())
+			}
+			if s.Latency.Count() != s.Completed {
+				t.Errorf("%s/%s: histogram has %d samples for %d completions",
+					mode, proto, s.Latency.Count(), s.Completed)
+			}
+		}
+	}
+}
+
+// TestApplyFastpathModes: the ladder is cumulative and unknown modes
+// are rejected.
+func TestApplyFastpathModes(t *testing.T) {
+	var cfg Config
+	if err := ApplyFastpath(&cfg, ModeAll); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.KeyLocks == 0 || !cfg.Seqlock || cfg.BatchWindow == 0 || !cfg.Pipeline {
+		t.Errorf("mode all left a layer off: %+v", cfg)
+	}
+	if err := ApplyFastpath(&cfg, ModeOff); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.KeyLocks != 0 || cfg.Seqlock || cfg.BatchWindow != 0 || cfg.Pipeline {
+		t.Errorf("mode off left a layer on: %+v", cfg)
+	}
+	if err := ApplyFastpath(&cfg, "turbo"); err == nil {
+		t.Error("ApplyFastpath accepted an unknown mode")
+	}
+}
+
+// TestBatchingPreservesValidation: under sustained backlog the batch
+// worker must actually coalesce (more ops than critical sections) on
+// every protocol, while Run's internal validation proves the store
+// still matches the trace bitwise.
+func TestBatchingPreservesValidation(t *testing.T) {
+	for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoOLRC, core.ProtoHLRC, core.ProtoOHLRC} {
+		cfg := testConfig()
+		cfg.OfferedLoad = 12_000 // overload: the backlog batching feeds on
+		// Write-heavy and skewed: gets ride the lock-free path in this
+		// mode, so coalescing needs hot keys colliding on the same lock.
+		cfg.ReadPct, cfg.WritePct, cfg.ScanPct = 20, 80, 0
+		cfg.ZipfTheta = 0.9
+		if err := ApplyFastpath(&cfg, ModeBatch); err != nil {
+			t.Fatal(err)
+		}
+		kv, res := runServe(t, cfg, proto, 4, core.Options{})
+		s := res.Stats.Serve
+		if s.Completed != kv.Generated() {
+			t.Errorf("%s: completed %d of %d", proto, s.Completed, kv.Generated())
+		}
+		if s.Batches == 0 {
+			t.Errorf("%s: batch mode recorded no batches", proto)
+		}
+		if s.BatchedOps <= s.Batches {
+			t.Errorf("%s: %d ops in %d batches — nothing coalesced", proto, s.BatchedOps, s.Batches)
+		}
+		if s.MaxBatch < 2 {
+			t.Errorf("%s: max batch %d, want >= 2", proto, s.MaxBatch)
+		}
+	}
+}
+
+// TestSeqlockCounters: under a home-based protocol the lock-free path
+// must carry reads; under homeless LRC it must fall back (FreshRead has
+// no authoritative copy to validate against) without losing requests.
+func TestSeqlockCounters(t *testing.T) {
+	cfg := testConfig()
+	if err := ApplyFastpath(&cfg, ModeSeqlock); err != nil {
+		t.Fatal(err)
+	}
+	_, res := runServe(t, cfg, core.ProtoHLRC, 4, core.Options{})
+	s := res.Stats.Serve
+	if s.SeqlockReads == 0 {
+		t.Error("hlrc: seqlock mode served no lock-free reads")
+	}
+	if s.LockAcquires == 0 {
+		t.Error("hlrc: no lock acquires recorded (puts still lock)")
+	}
+
+	_, res = runServe(t, cfg, core.ProtoLRC, 4, core.Options{})
+	s = res.Stats.Serve
+	if s.SeqlockReads != 0 {
+		t.Errorf("lrc: %d lock-free reads under a homeless protocol", s.SeqlockReads)
+	}
+	if s.SeqlockFallbacks == 0 {
+		t.Error("lrc: no fallbacks counted for the degraded lock-free path")
+	}
+}
+
+// TestClosedLoop: the closed-loop population must validate, complete
+// exactly what it generates, and never trip open-loop saturation.
+func TestClosedLoop(t *testing.T) {
+	cfg := testConfig()
+	cfg.ClosedClients = 8
+	cfg.ThinkTime = 500 * sim.Microsecond
+	for _, proto := range []core.Protocol{core.ProtoLRC, core.ProtoHLRC} {
+		_, res := runServe(t, cfg, proto, 4, core.Options{})
+		s := res.Stats.Serve
+		if s.Completed == 0 {
+			t.Fatalf("%s: closed loop completed nothing", proto)
+		}
+		if s.Generated != s.Completed {
+			t.Errorf("%s: closed loop generated %d != completed %d", proto, s.Generated, s.Completed)
+		}
+		if s.Clients != 8 {
+			t.Errorf("%s: clients = %d, want 8", proto, s.Clients)
+		}
+		if s.Saturated() {
+			t.Errorf("%s: closed loop flagged saturated (ratio %.3f)", proto, s.SaturationRatio())
+		}
+	}
+}
+
+// TestClosedLoopFewerClientsThanNodes: a population smaller than the
+// machine leaves idle nodes; the run must still validate and complete.
+func TestClosedLoopFewerClientsThanNodes(t *testing.T) {
+	cfg := testConfig()
+	cfg.ClosedClients = 2
+	_, res := runServe(t, cfg, core.ProtoOHLRC, 4, core.Options{})
+	if res.Stats.Serve.Completed == 0 {
+		t.Fatal("2-client closed loop completed nothing")
+	}
+}
+
+// TestAblationOrdering: walking each ablation rung up a load ladder,
+// the sustained load (highest unsaturated offered load) must be
+// monotone along the cumulative ladder: all >= batch >= locks >= off.
+// (seqlock is omitted from the chain: lock-free gets and batched puts
+// optimize different op classes, so their order can legitimately swap.)
+func TestAblationOrdering(t *testing.T) {
+	ladder := []float64{500, 1000, 2000, 4000, 8000}
+	sustained := map[string]float64{}
+	for _, mode := range Modes {
+		for _, load := range ladder {
+			cfg := testConfig()
+			cfg.OfferedLoad = load
+			cfg.ZipfTheta = 0.9
+			if err := ApplyFastpath(&cfg, mode); err != nil {
+				t.Fatal(err)
+			}
+			_, res := runServe(t, cfg, core.ProtoHLRC, 4, core.Options{})
+			if res.Stats.Serve.Saturated() {
+				break
+			}
+			sustained[mode] = load
+		}
+		t.Logf("%s: sustained %.0f req/s", mode, sustained[mode])
+	}
+	chain := []string{ModeOff, ModeLocks, ModeBatch, ModeAll}
+	for i := 1; i < len(chain); i++ {
+		lo, hi := chain[i-1], chain[i]
+		if sustained[hi] < sustained[lo] {
+			t.Errorf("ablation ordering violated: %s sustains %.0f < %s sustains %.0f",
+				hi, sustained[hi], lo, sustained[lo])
+		}
+	}
+	if sustained[ModeAll] <= sustained[ModeOff] {
+		t.Errorf("full fast path sustains %.0f, no better than baseline %.0f",
+			sustained[ModeAll], sustained[ModeOff])
+	}
+}
+
+// tornApp reproduces the seqlock torn-read scenario deterministically:
+// node 1 parks mid-critical-section with an odd version word, node 0
+// forces node 1's open interval to flush by chasing an unrelated lock
+// past it, then reads lock-free. The fresh fetch must observe the odd
+// version; the locked fallback must observe the committed value.
+type tornApp struct {
+	base     mem.Addr
+	sawOdd   bool
+	fellBack bool
+	finalVal float64
+	finalVer int64
+}
+
+func (a *tornApp) Name() string { return "torn" }
+
+func (a *tornApp) Setup(s *core.Setup) { a.base = s.Alloc(2) }
+
+func (a *tornApp) Init(w *core.Init) {
+	w.Store(a.base, 0)
+	w.StoreI(a.base+1, 0)
+	w.SetHome(a.base, 2, 0) // reader is the home: flushes land where it looks
+}
+
+func (a *tornApp) Worker(c *core.Ctx, id int) {
+	if id == 1 {
+		// Writer: open the seqlock (odd), mutate, and park inside the
+		// critical section long enough for the reader to probe.
+		c.Lock(1)
+		v := c.LoadI(a.base + 1)
+		c.StoreI(a.base+1, v+1)
+		c.Store(a.base, 42)
+		c.Wait(5 * sim.Millisecond)
+		c.StoreI(a.base+1, v+2)
+		c.Unlock(1)
+	} else {
+		// Reader: lock 3's token also starts at node 1, so acquiring it
+		// chases past the writer and forces its dirty interval to flush —
+		// the odd version reaches the home mid-critical-section.
+		c.WaitUntil(sim.Millisecond)
+		c.Lock(3)
+		c.Unlock(3)
+		deadline := c.Now() + 3*sim.Millisecond
+		for c.Now() < deadline {
+			if !c.FreshRead(a.base) {
+				break
+			}
+			if c.LoadI(a.base+1)&1 != 0 {
+				a.sawOdd = true
+				break
+			}
+			c.Wait(50 * sim.Microsecond)
+		}
+		// Retries exhausted: fall back to the lock, which waits out the
+		// writer and guarantees an even version.
+		a.fellBack = true
+		c.Lock(1)
+		a.finalVal = c.Load(a.base)
+		a.finalVer = c.LoadI(a.base + 1)
+		c.Unlock(1)
+	}
+	c.Barrier(0)
+}
+
+func (a *tornApp) Gather(c *core.Ctx) []float64 {
+	return []float64{c.Load(a.base), float64(int64(c.Load(a.base + 1)))}
+}
+
+// TestSeqlockTornRead: the mid-interval flush (lock chase past a dirty
+// owner) must expose the odd version word to a lock-free reader, and
+// the locked fallback must then observe the committed value — the
+// mechanism DESIGN.md §14's correctness argument rests on.
+func TestSeqlockTornRead(t *testing.T) {
+	app := &tornApp{}
+	res, err := core.Run(core.Options{Protocol: core.ProtoHLRC, NumProcs: 2}, app, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !app.sawOdd {
+		t.Error("lock-free reader never observed the odd (torn) version")
+	}
+	if !app.fellBack {
+		t.Error("reader did not take the locked fallback")
+	}
+	if app.finalVal != 42 {
+		t.Errorf("locked fallback read %v, want the committed 42", app.finalVal)
+	}
+	if app.finalVer%2 != 0 {
+		t.Errorf("locked fallback saw odd version %d", app.finalVer)
+	}
+	if res.Data[0] != 42 || int64(res.Data[1])%2 != 0 {
+		t.Errorf("gathered (%v, %v), want (42, even)", res.Data[0], res.Data[1])
+	}
+}

@@ -1,7 +1,8 @@
-// Package serve implements the open-loop request-serving workload: a
-// key-value store sharded over SVM pages, driven by per-node client
-// populations whose requests arrive on the simulated clock via seeded
-// Poisson (or bursty MMPP) processes, independent of service progress.
+// Package serve implements the request-serving workload: a key-value
+// store sharded over SVM pages, driven either by per-node open-loop
+// client populations whose requests arrive on the simulated clock via
+// seeded Poisson (or bursty MMPP) processes, or by a closed-loop client
+// population that thinks between requests.
 //
 // Unlike the closed-loop batch kernels (SOR, LU, Water), performance
 // here is not a single elapsed time but a latency distribution: every
@@ -12,10 +13,15 @@
 // exercises the real HLRC/OHLRC/LRC protocol paths: lock forwarding,
 // write notices, diffs to homes, and page fetches.
 //
-// The workload is self-validating: put deltas are integers and
-// commutative (read-modify-write addition under the shard lock), so the
-// final store contents are exactly computable from the trace alone and
-// must match bitwise under every protocol and fault plan.
+// The serving fast path (fastpath.go) layers three optimizations on the
+// baseline one-lock-per-shard design: striped per-key locks (KeyLocks),
+// seqlock-validated lock-free reads (Seqlock), and same-lock request
+// batching with cross-shard prefetch pipelining (BatchWindow,
+// Pipeline). All of them preserve the workload's self-validation: put
+// deltas are integers and commutative (read-modify-write addition under
+// the key's lock), so the final store contents are exactly computable
+// from the trace alone and must match bitwise under every protocol and
+// fault plan.
 package serve
 
 import (
@@ -60,15 +66,16 @@ type Req struct {
 // Config parameterizes the serving workload. The zero value is not
 // runnable; Defaults fills every unset field.
 type Config struct {
-	// Keys is the key-space size. Each key owns one value word.
+	// Keys is the key-space size. Each key owns one value word (plus a
+	// version word when Seqlock is on).
 	Keys int
-	// Shards is the number of lock-guarded shards the keys hash onto.
-	// Each shard is page-aligned so distinct shards never share a page.
-	// Zero means 4 shards per node.
+	// Shards is the number of shards the keys hash onto. Each shard is
+	// page-aligned so distinct shards never share a page. Zero means 4
+	// shards per node.
 	Shards int
 	// OfferedLoad is the total offered request rate across the machine,
 	// in requests per simulated second. Each node's client population
-	// contributes OfferedLoad / procs.
+	// contributes OfferedLoad / procs. Ignored in closed-loop mode.
 	OfferedLoad float64
 	// Window is the arrival window: requests arrive over [0, Window).
 	Window sim.Time
@@ -91,6 +98,62 @@ type Config struct {
 	ServiceNs sim.Time
 	// Seed derives every arrival process and key draw.
 	Seed int64
+
+	// KeyLocks enables striped per-key locking: each shard's keys spread
+	// over this many lock stripes, so two puts to different keys of the
+	// same shard no longer serialize on one lock. Lock ids are
+	// shard + Shards*stripe, which keeps every stripe's manager on the
+	// shard's home node whenever Shards is a multiple of the machine
+	// size (the default layout), so a request's lock round trip and page
+	// fetch target the same node. Zero keeps the baseline one lock per
+	// shard.
+	KeyLocks int
+	// Seqlock enables lock-free validated reads: each slot pairs its
+	// value with a version word on the same page; writers cycle the
+	// version odd before and even after mutating, and readers revalidate
+	// the page against its home (Ctx.FreshRead), retry on an odd
+	// version, and fall back to the locked path after SeqlockRetries
+	// torn reads. Only the home-based protocols (HLRC, OHLRC, AURC) have
+	// an authoritative copy to validate against; under the homeless LRC
+	// family every read silently takes the locked path.
+	Seqlock bool
+	// SeqlockRetries is the number of torn-read retries before a reader
+	// falls back to the lock. Zero means the default of 3.
+	SeqlockRetries int
+	// SeqlockBackoff is the simulated pause between torn-read retries,
+	// giving the writer's critical section time to close. Zero means the
+	// default of 20 microseconds.
+	SeqlockBackoff sim.Time
+	// BatchWindow enables request batching: when a locked request
+	// reaches the head of a node's queue, the server holds a window of
+	// this length open and coalesces every queued request for the same
+	// lock into one acquire -> apply-N -> release critical section,
+	// amortizing the lock round trip and page fetch. Latency is still
+	// recorded per request (completion minus arrival). Zero disables
+	// batching. Ignored in closed-loop mode (a closed population never
+	// builds the backlog batching feeds on).
+	BatchWindow sim.Time
+	// MaxBatch caps the operations coalesced into one critical section;
+	// a full backlog skips the window wait entirely. Zero means the
+	// default of 16.
+	MaxBatch int
+	// Pipeline overlaps communication with service: before entering a
+	// critical section the server prefetches the page of the oldest
+	// queued request on a different shard (Ctx.Prefetch), so that page's
+	// fetch rides under the current critical section instead of
+	// stalling the next one.
+	Pipeline bool
+
+	// ClosedClients switches the workload to closed-loop: this many
+	// clients total, distributed round-robin across nodes, each issuing
+	// one request at a time and thinking (exponential, mean ThinkTime)
+	// between completion and the next issue. OfferedLoad and Arrival are
+	// ignored; the run still ends when no client would issue before
+	// Window. Zero keeps the open-loop traces.
+	ClosedClients int
+	// ThinkTime is the closed-loop mean think time. Zero means the
+	// default of 1 millisecond.
+	ThinkTime sim.Time
 }
 
 // Defaults fills unset fields. A request on the modeled Paragon costs
@@ -126,6 +189,18 @@ func (c *Config) Defaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.SeqlockRetries == 0 {
+		c.SeqlockRetries = 3
+	}
+	if c.SeqlockBackoff == 0 {
+		c.SeqlockBackoff = 20 * sim.Microsecond
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.ThinkTime == 0 {
+		c.ThinkTime = sim.Millisecond
 	}
 }
 
@@ -165,29 +240,58 @@ func (c *Config) validate(procs int) error {
 	if procs < 1 {
 		return fmt.Errorf("serve: procs must be positive, got %d", procs)
 	}
+	if c.KeyLocks < 0 {
+		return fmt.Errorf("serve: KeyLocks must be non-negative, got %d", c.KeyLocks)
+	}
+	if c.SeqlockRetries < 0 {
+		return fmt.Errorf("serve: SeqlockRetries must be non-negative, got %d", c.SeqlockRetries)
+	}
+	if c.SeqlockBackoff < 0 {
+		return fmt.Errorf("serve: SeqlockBackoff must be non-negative, got %v", c.SeqlockBackoff)
+	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("serve: BatchWindow must be non-negative, got %v", c.BatchWindow)
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("serve: MaxBatch must be positive, got %d", c.MaxBatch)
+	}
+	if c.ClosedClients < 0 {
+		return fmt.Errorf("serve: ClosedClients must be non-negative, got %d", c.ClosedClients)
+	}
+	if c.ThinkTime <= 0 {
+		return fmt.Errorf("serve: ThinkTime must be positive, got %v", c.ThinkTime)
+	}
 	return nil
 }
 
 // KV is the serving workload as a core.App: a sharded key-value store
-// over SVM pages plus the per-node open-loop client traces that drive
-// it. Build one with New per run; instances are single-use.
+// over SVM pages plus the per-node client populations that drive it.
+// Build one with New per run; instances are single-use.
 type KV struct {
 	cfg    Config
 	procs  int
 	shards int
 
+	// slotWords is the words per key slot: 1 for the plain layout, 2
+	// when Seqlock pairs each value with a version word.
+	slotWords int
+
 	// Key layout, fixed at construction: key -> (shard, slot).
 	keyShard []int32
 	keySlot  []int32
 	shardLen []int32 // slots per shard
+	zipf     *zipfGen
 
-	// Per-node request traces, sorted by arrival time.
+	// Per-node request traces, sorted by arrival time (open loop only).
 	traces    [][]Req
 	generated int64
 
-	// Expected final store contents, derived from the traces alone.
-	initVals []float64
-	expected []float64
+	// Expected final store contents. Open loop derives them from the
+	// traces at construction; closed loop accumulates executed put
+	// deltas per node and folds them in after the run (finalizeExpected).
+	initVals     []float64
+	expected     []float64
+	closedDeltas [][]float64
 
 	// Shared-memory layout, filled in Setup.
 	shardBase []mem.Addr
@@ -197,6 +301,14 @@ type KV struct {
 	ops      [][3]int64 // per node: gets, puts, scans
 	lastDone []sim.Time
 	busy     []sim.Time // time spent serving (not idling between arrivals)
+
+	// Per-node fast-path counters.
+	seqReads     []int64
+	seqRetries   []int64
+	seqFallbacks []int64
+	batches      []int64
+	batchedOps   []int64
+	maxBatch     []int64
 }
 
 // New builds the workload for a machine of the given size: key layout,
@@ -215,7 +327,10 @@ func New(cfg Config, procs int) (*KV, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("serve: Shards must be positive, got %d", cfg.Shards)
 	}
-	kv := &KV{cfg: cfg, procs: procs, shards: cfg.Shards}
+	kv := &KV{cfg: cfg, procs: procs, shards: cfg.Shards, slotWords: 1}
+	if cfg.Seqlock {
+		kv.slotWords = 2
+	}
 
 	// Key layout: scramble keys across shards, slots assigned in key
 	// order within each shard.
@@ -237,33 +352,36 @@ func New(cfg Config, procs int) (*KV, error) {
 		kv.initVals[k] = float64(initRng.intn(1000))
 	}
 
-	// Per-node client traces. Each node's population is seeded
-	// independently of the others, so traces are reproducible per node.
-	zipf := newZipf(cfg.Keys, cfg.ZipfTheta)
-	perNodeRate := cfg.OfferedLoad / float64(procs)
-	kv.traces = make([][]Req, procs)
+	kv.zipf = newZipf(cfg.Keys, cfg.ZipfTheta)
 	kv.expected = append([]float64(nil), kv.initVals...)
-	for id := 0; id < procs; id++ {
-		r := newRNG(scramble(uint64(cfg.Seed)) ^ scramble(uint64(id)+0xc11e47))
-		ats := arrivals(r, cfg.Arrival, perNodeRate, cfg.Window, cfg.BurstFactor)
-		trace := make([]Req, len(ats))
-		for i, at := range ats {
-			key := int32(scramble(uint64(zipf.rank(r))+0x6b65796d) % uint64(cfg.Keys))
-			req := Req{At: at, Key: key}
-			switch pick := r.intn(100); {
-			case pick < cfg.ReadPct:
-				req.Op = OpGet
-			case pick < cfg.ReadPct+cfg.WritePct:
-				req.Op = OpPut
-				req.Delta = int32(1 + r.intn(8))
-				kv.expected[key] += float64(req.Delta)
-			default:
-				req.Op = OpScan
-			}
-			trace[i] = req
+	kv.traces = make([][]Req, procs)
+	if cfg.ClosedClients > 0 {
+		// Closed loop draws requests on the fly; executed deltas are
+		// accumulated per node and folded into expected after the run.
+		kv.closedDeltas = make([][]float64, procs)
+		for id := range kv.closedDeltas {
+			kv.closedDeltas[id] = make([]float64, cfg.Keys)
 		}
-		kv.traces[id] = trace
-		kv.generated += int64(len(trace))
+	} else {
+		// Per-node open-loop client traces. Each node's population is
+		// seeded independently of the others, so traces are reproducible
+		// per node.
+		perNodeRate := cfg.OfferedLoad / float64(procs)
+		for id := 0; id < procs; id++ {
+			r := newRNG(scramble(uint64(cfg.Seed)) ^ scramble(uint64(id)+0xc11e47))
+			ats := arrivals(r, cfg.Arrival, perNodeRate, cfg.Window, cfg.BurstFactor)
+			trace := make([]Req, len(ats))
+			for i, at := range ats {
+				req := kv.drawReq(r)
+				req.At = at
+				if req.Op == OpPut {
+					kv.expected[req.Key] += float64(req.Delta)
+				}
+				trace[i] = req
+			}
+			kv.traces[id] = trace
+			kv.generated += int64(len(trace))
+		}
 	}
 
 	kv.hists = make([]*stats.Hist, procs)
@@ -273,20 +391,49 @@ func New(cfg Config, procs int) (*KV, error) {
 	kv.ops = make([][3]int64, procs)
 	kv.lastDone = make([]sim.Time, procs)
 	kv.busy = make([]sim.Time, procs)
+	kv.seqReads = make([]int64, procs)
+	kv.seqRetries = make([]int64, procs)
+	kv.seqFallbacks = make([]int64, procs)
+	kv.batches = make([]int64, procs)
+	kv.batchedOps = make([]int64, procs)
+	kv.maxBatch = make([]int64, procs)
 	return kv, nil
+}
+
+// drawReq draws one request (key, op, delta — not the arrival time)
+// from a node or client rng. Both the open-loop trace generator and the
+// closed-loop clients use it, so the two modes sample the identical
+// key-popularity and op-mix distributions.
+func (kv *KV) drawReq(r *rng) Req {
+	key := int32(scramble(uint64(kv.zipf.rank(r))+0x6b65796d) % uint64(kv.cfg.Keys))
+	req := Req{Key: key}
+	switch pick := r.intn(100); {
+	case pick < kv.cfg.ReadPct:
+		req.Op = OpGet
+	case pick < kv.cfg.ReadPct+kv.cfg.WritePct:
+		req.Op = OpPut
+		req.Delta = int32(1 + r.intn(8))
+	default:
+		req.Op = OpScan
+	}
+	return req
 }
 
 // Name implements core.App.
 func (kv *KV) Name() string { return "kv-serve" }
 
-// Generated returns the total number of requests across all traces.
+// Generated returns the total number of requests across all open-loop
+// traces (zero in closed-loop mode, where demand follows completions).
 func (kv *KV) Generated() int64 { return kv.generated }
 
 // Trace returns node id's request trace (read-only; used by tests).
 func (kv *KV) Trace(id int) []Req { return kv.traces[id] }
 
 // Setup allocates one page-aligned region per shard, so shards never
-// share a page and the per-shard lock is the only cross-key coupling.
+// share a page and a key's lock stripe is the only cross-key coupling.
+// With Seqlock on, each slot is two words (value, version) — still
+// within one shard region, so a value and its version always share a
+// page and arrive in the same atomic page copy.
 func (kv *KV) Setup(s *core.Setup) {
 	if s.P != kv.procs {
 		panic(fmt.Sprintf("serve: built for %d procs, run with %d", kv.procs, s.P))
@@ -297,13 +444,13 @@ func (kv *KV) Setup(s *core.Setup) {
 		if n == 0 {
 			n = 1 // keep shard indexing total even if no key hashed here
 		}
-		kv.shardBase[sh] = s.Alloc(n)
+		kv.shardBase[sh] = s.Alloc(n * kv.slotWords)
 	}
 }
 
 // Init seeds initial values and homes each shard on the node that will
 // most often serve it — shard s on node s mod P, the same round-robin
-// the lock managers use, so a shard's lock and pages co-locate.
+// the lock managers use, so a shard's locks and pages co-locate.
 func (kv *KV) Init(w *core.Init) {
 	for k := 0; k < kv.cfg.Keys; k++ {
 		w.Store(kv.addrOf(int32(k)), kv.initVals[k])
@@ -313,64 +460,59 @@ func (kv *KV) Init(w *core.Init) {
 		if n == 0 {
 			n = 1
 		}
-		w.SetHome(kv.shardBase[sh], n, sh%kv.procs)
+		w.SetHome(kv.shardBase[sh], n*kv.slotWords, sh%kv.procs)
 	}
 }
 
 // addrOf returns the shared address of a key's value word.
 func (kv *KV) addrOf(key int32) mem.Addr {
-	return kv.shardBase[kv.keyShard[key]] + mem.Addr(kv.keySlot[key])
+	return kv.shardBase[kv.keyShard[key]] + mem.Addr(int(kv.keySlot[key])*kv.slotWords)
 }
 
-// Worker serves node id's client population: an open-loop FIFO queue.
-// Each request waits for its arrival time (never on service progress —
-// that is what distinguishes open loop from the batch kernels), is
-// served under its shard lock, and records completion minus arrival.
+// Worker serves node id's client population. Open loop runs a FIFO
+// queue over the pre-generated trace (optionally batching same-lock
+// requests); closed loop multiplexes the node's thinking clients.
+// Either way each operation records completion minus arrival.
 func (kv *KV) Worker(c *core.Ctx, id int) {
+	switch {
+	case kv.cfg.ClosedClients > 0:
+		kv.closedWorker(c, id)
+	case kv.cfg.BatchWindow > 0:
+		kv.batchWorker(c, id)
+	default:
+		kv.openWorker(c, id)
+	}
+	c.Barrier(0)
+}
+
+// openWorker is the unbatched open-loop server: requests are served
+// one at a time in arrival order (FIFO single-server queue).
+func (kv *KV) openWorker(c *core.Ctx, id int) {
 	h := kv.hists[id]
 	scratch := make([]float64, kv.cfg.ScanLen)
-	for i := range kv.traces[id] {
-		r := &kv.traces[id][i]
+	trace := kv.traces[id]
+	for i := range trace {
+		r := &trace[i]
 		c.WaitUntil(r.At)
 		// Service starts now: at the arrival, or when the previous request
-		// finished — whichever is later (FIFO single-server queue).
+		// finished — whichever is later.
 		start := c.Now()
-		sh := int(kv.keyShard[r.Key])
-		switch r.Op {
-		case OpGet:
-			c.Lock(sh)
-			_ = c.Load(kv.addrOf(r.Key))
-			c.Compute(kv.cfg.ServiceNs)
-			c.Unlock(sh)
-			kv.ops[id][0]++
-		case OpPut:
-			a := kv.addrOf(r.Key)
-			c.Lock(sh)
-			c.Store(a, c.Load(a)+float64(r.Delta))
-			c.Compute(kv.cfg.ServiceNs)
-			c.Unlock(sh)
-			kv.ops[id][1]++
-		case OpScan:
-			// Scan reads consecutive slots of the key's shard starting at
-			// the key, clamped to the shard end.
-			start := int(kv.keySlot[r.Key])
-			n := kv.cfg.ScanLen
-			if max := int(kv.shardLen[sh]) - start; n > max {
-				n = max
+		if kv.cfg.Pipeline {
+			// Overlap the next waiting request's page fetch with this
+			// request's service.
+			sh := kv.keyShard[r.Key]
+			for j := i + 1; j < len(trace) && trace[j].At <= start; j++ {
+				if kv.keyShard[trace[j].Key] != sh {
+					c.Prefetch(kv.addrOf(trace[j].Key))
+					break
+				}
 			}
-			c.Lock(sh)
-			if n > 0 {
-				c.ReadRange(kv.shardBase[sh]+mem.Addr(start), scratch[:n])
-			}
-			c.Compute(kv.cfg.ServiceNs + sim.Time(n)*kv.cfg.ServiceNs/8)
-			c.Unlock(sh)
-			kv.ops[id][2]++
 		}
+		kv.serveOne(c, id, r, scratch)
 		h.Record(c.Now() - r.At)
 		kv.busy[id] += c.Now() - start
 		kv.lastDone[id] = c.Now()
 	}
-	c.Barrier(0)
 }
 
 // Gather reads back the whole store through the SVM for validation.
@@ -382,10 +524,11 @@ func (kv *KV) Gather(c *core.Ctx) []float64 {
 	return out
 }
 
-// Expected returns the final store contents implied by the traces:
+// Expected returns the final store contents implied by the workload:
 // initial values plus every put delta. Deltas are integers and addition
-// under the shard lock is commutative, so the gathered data must match
+// under the key's lock is commutative, so the gathered data must match
 // bitwise under every protocol, schedule, and (recoverable) fault plan.
+// In closed-loop mode this is only valid after finalizeExpected.
 func (kv *KV) Expected() []float64 { return kv.expected }
 
 // Validate checks gathered run data against the trace-derived expected
@@ -424,8 +567,22 @@ func (kv *KV) Stats() *stats.ServeStats {
 				s.MaxUtil = u
 			}
 		}
+		s.SeqlockReads += kv.seqReads[id]
+		s.SeqlockRetries += kv.seqRetries[id]
+		s.SeqlockFallbacks += kv.seqFallbacks[id]
+		s.Batches += kv.batches[id]
+		s.BatchedOps += kv.batchedOps[id]
+		if kv.maxBatch[id] > s.MaxBatch {
+			s.MaxBatch = kv.maxBatch[id]
+		}
 	}
 	s.Completed = s.Gets + s.Puts + s.Scans
+	if kv.cfg.ClosedClients > 0 {
+		// A closed population generates exactly what it completes.
+		s.Generated = s.Completed
+		s.Clients = int64(kv.cfg.ClosedClients)
+		s.Think = kv.cfg.ThinkTime
+	}
 	return s
 }
 
@@ -443,9 +600,15 @@ func Run(opts core.Options, kv *KV) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	kv.finalizeExpected()
 	if err := kv.Validate(res.Data); err != nil {
 		return nil, err
 	}
-	res.Stats.Serve = kv.Stats()
+	ss := kv.Stats()
+	for _, n := range res.Stats.Nodes {
+		ss.LockAcquires += n.Counts.LockAcquires
+		ss.LockForwards += n.Counts.LockForwards
+	}
+	res.Stats.Serve = ss
 	return res, nil
 }

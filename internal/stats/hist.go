@@ -278,6 +278,35 @@ type ServeStats struct {
 	// Latency is the per-operation latency histogram: completion minus
 	// arrival, on the simulated clock.
 	Latency *Hist
+
+	// Fast-path counters. All zero when the serving fast path is off.
+	// SeqlockReads counts gets/scans served lock-free against the home
+	// copy; SeqlockRetries counts torn-read retries (an odd version word
+	// observed); SeqlockFallbacks counts lock-free-eligible operations
+	// that ended up taking the lock anyway (K torn reads in a row, or a
+	// protocol with no home copy to validate against).
+	SeqlockReads     int64
+	SeqlockRetries   int64
+	SeqlockFallbacks int64
+	// Batches counts coalesced critical sections (one acquire→apply-N→
+	// release); BatchedOps the operations served inside them; MaxBatch
+	// the largest single batch.
+	Batches    int64
+	BatchedOps int64
+	MaxBatch   int64
+	// LockAcquires and LockForwards sum the per-node protocol counters:
+	// remote lock acquisitions and acquire requests forwarded past their
+	// manager to the current token holder. The serving fast path exists
+	// to drive both toward zero on the get-dominated mix.
+	LockAcquires int64
+	LockForwards int64
+
+	// Closed-loop mode: Clients > 0 marks a closed-loop run, where a
+	// fixed population of clients issues the next request one think time
+	// (mean Think) after the previous response. Closed-loop runs are
+	// self-limiting and never report saturation.
+	Clients int64
+	Think   sim.Time
 }
 
 // saturationFraction is the achieved/offered ratio below which the
@@ -334,8 +363,13 @@ func (s *ServeStats) SaturationRatio() float64 {
 }
 
 // Saturated reports whether the offered load exceeded the serving
-// capacity (offered vs. completed rate divergence).
+// capacity (offered vs. completed rate divergence). A closed-loop run
+// is self-limiting — clients wait for responses — so it never reports
+// saturation; its throughput is read directly from AchievedRate.
 func (s *ServeStats) Saturated() bool {
+	if s.Clients > 0 {
+		return false
+	}
 	return s.SaturationRatio() < saturationFraction
 }
 
@@ -355,6 +389,17 @@ type serveJSON struct {
 	SatRatio   float64 `json:"saturation_ratio"`
 	Saturated  bool    `json:"saturated"`
 	Latency    *Hist   `json:"latency"`
+
+	SeqlockReads     int64 `json:"seqlock_reads,omitempty"`
+	SeqlockRetries   int64 `json:"seqlock_retries,omitempty"`
+	SeqlockFallbacks int64 `json:"seqlock_fallbacks,omitempty"`
+	Batches          int64 `json:"batches,omitempty"`
+	BatchedOps       int64 `json:"batched_ops,omitempty"`
+	MaxBatch         int64 `json:"max_batch,omitempty"`
+	LockAcquires     int64 `json:"lock_acquires,omitempty"`
+	LockForwards     int64 `json:"lock_forwards,omitempty"`
+	Clients          int64 `json:"clients,omitempty"`
+	ThinkNs          int64 `json:"think_ns,omitempty"`
 }
 
 // MarshalJSON emits the serve block with derived rates included.
@@ -374,6 +419,17 @@ func (s *ServeStats) MarshalJSON() ([]byte, error) {
 		SatRatio:   s.SaturationRatio(),
 		Saturated:  s.Saturated(),
 		Latency:    s.Latency,
+
+		SeqlockReads:     s.SeqlockReads,
+		SeqlockRetries:   s.SeqlockRetries,
+		SeqlockFallbacks: s.SeqlockFallbacks,
+		Batches:          s.Batches,
+		BatchedOps:       s.BatchedOps,
+		MaxBatch:         s.MaxBatch,
+		LockAcquires:     s.LockAcquires,
+		LockForwards:     s.LockForwards,
+		Clients:          s.Clients,
+		ThinkNs:          int64(s.Think),
 	})
 }
 
@@ -394,5 +450,15 @@ func (s *ServeStats) UnmarshalJSON(data []byte) error {
 	s.Busy = sim.Time(j.BusyNs)
 	s.MaxUtil = j.MaxUtil
 	s.Latency = j.Latency
+	s.SeqlockReads = j.SeqlockReads
+	s.SeqlockRetries = j.SeqlockRetries
+	s.SeqlockFallbacks = j.SeqlockFallbacks
+	s.Batches = j.Batches
+	s.BatchedOps = j.BatchedOps
+	s.MaxBatch = j.MaxBatch
+	s.LockAcquires = j.LockAcquires
+	s.LockForwards = j.LockForwards
+	s.Clients = j.Clients
+	s.Think = sim.Time(j.ThinkNs)
 	return nil
 }

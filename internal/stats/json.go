@@ -15,6 +15,8 @@ func countsMap(c Counters) map[string]int64 {
 		"diffs_applied":   c.DiffsApplied,
 		"pages_fetched":   c.PagesFetched,
 		"lock_acquires":   c.LockAcquires,
+		"lock_forwards":   c.LockForwards,
+		"prefetches":      c.Prefetches,
 		"barriers":        c.Barriers,
 		"gcs":             c.GCs,
 		"retries":         c.Retries,

@@ -64,6 +64,8 @@ type Counters struct {
 	DiffsApplied int64
 	PagesFetched int64 // full-page transfers received
 	LockAcquires int64 // remote lock acquires
+	LockForwards int64 // acquire requests this node forwarded past itself to the token holder
+	Prefetches   int64 // asynchronous page prefetches issued (serving fast path)
 	Barriers     int64
 	GCs          int64 // garbage collections participated in
 
@@ -166,6 +168,8 @@ func (n Node) Sub(o Node) Node {
 		DiffsApplied:   n.Counts.DiffsApplied - o.Counts.DiffsApplied,
 		PagesFetched:   n.Counts.PagesFetched - o.Counts.PagesFetched,
 		LockAcquires:   n.Counts.LockAcquires - o.Counts.LockAcquires,
+		LockForwards:   n.Counts.LockForwards - o.Counts.LockForwards,
+		Prefetches:     n.Counts.Prefetches - o.Counts.Prefetches,
 		Barriers:       n.Counts.Barriers - o.Counts.Barriers,
 		GCs:            n.Counts.GCs - o.Counts.GCs,
 		Retries:        n.Counts.Retries - o.Counts.Retries,
@@ -235,6 +239,8 @@ func (r *Run) AvgNode() Node {
 		sum.Counts.DiffsApplied += nd.Counts.DiffsApplied
 		sum.Counts.PagesFetched += nd.Counts.PagesFetched
 		sum.Counts.LockAcquires += nd.Counts.LockAcquires
+		sum.Counts.LockForwards += nd.Counts.LockForwards
+		sum.Counts.Prefetches += nd.Counts.Prefetches
 		sum.Counts.Barriers += nd.Counts.Barriers
 		sum.Counts.GCs += nd.Counts.GCs
 		sum.Counts.Retries += nd.Counts.Retries
@@ -264,6 +270,8 @@ func (r *Run) AvgNode() Node {
 	avg.Counts.DiffsApplied = sum.Counts.DiffsApplied / n
 	avg.Counts.PagesFetched = sum.Counts.PagesFetched / n
 	avg.Counts.LockAcquires = sum.Counts.LockAcquires / n
+	avg.Counts.LockForwards = sum.Counts.LockForwards / n
+	avg.Counts.Prefetches = sum.Counts.Prefetches / n
 	avg.Counts.Barriers = sum.Counts.Barriers / n
 	avg.Counts.GCs = sum.Counts.GCs / n
 	avg.Counts.Retries = sum.Counts.Retries / n
