@@ -171,11 +171,14 @@ func main() {
 		tw.Flush()
 	}
 
-	var rehomed, replicaBytes int64
+	var rehomed, mgrsRehomed, locksReclaimed, replicaBytes, mirrorBytes int64
 	var detect gosvm.Time
 	for _, nd := range res.Stats.Nodes {
 		rehomed += nd.Counts.PagesRehomed
+		mgrsRehomed += nd.Counts.MgrsRehomed
+		locksReclaimed += nd.Counts.LocksReclaimed
 		replicaBytes += nd.ReplicaBytes
+		mirrorBytes += nd.MirrorBytes
 		if nd.Detect > detect {
 			detect = nd.Detect
 		}
@@ -185,6 +188,15 @@ func main() {
 		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintf(tw, "  pages re-homed\t%d\n", rehomed)
 		fmt.Fprintf(tw, "  replication traffic\t%.2f MB\n", float64(replicaBytes)/(1<<20))
+		if mgrsRehomed > 0 {
+			fmt.Fprintf(tw, "  managers re-homed\t%d\n", mgrsRehomed)
+		}
+		if locksReclaimed > 0 {
+			fmt.Fprintf(tw, "  locks reclaimed\t%d\n", locksReclaimed)
+		}
+		if mirrorBytes > 0 {
+			fmt.Fprintf(tw, "  manager mirror traffic\t%.2f KB\n", float64(mirrorBytes)/(1<<10))
+		}
 		if detect > 0 {
 			fmt.Fprintf(tw, "  failure detection latency\t%.2f ms\n", detect.Micros()/1e3)
 		}

@@ -127,7 +127,10 @@ type (
 	// never). See FaultPlan.Crashes and Options.Recovery.
 	Crash = fault.Crash
 	// Recovery configures home-state replication and re-homing for the
-	// home-based protocols (see Options.Recovery, WithReplication).
+	// home-based protocols (see Options.Recovery, WithReplication). The
+	// same backups also shadow each node's synchronization-manager state
+	// (lock-owner tables, barrier arrivals), so manager roles fail over
+	// with the pages.
 	Recovery = core.Recovery
 	// ServeConfig parameterizes the open-loop request-serving workload:
 	// key-value store shape (keys, shards, op mix, Zipf skew), arrival
@@ -162,9 +165,11 @@ type (
 	// HangError wraps a DeadlockError when fault injection permanently
 	// lost messages, listing the lost messages that explain the hang.
 	HangError = fault.HangError
-	// NodeDeadError reports an unrecoverable node crash: the node homed
-	// pages and no replica could take them over (Recovery.Replicas too
-	// small), or the node never restarts and its computation is lost.
+	// NodeDeadError reports an unrecoverable node crash: the node held a
+	// role — page home, lock manager, barrier manager, lock owner — that
+	// no replica could take over (Recovery.Replicas too small), or the
+	// node never restarts and its computation is lost. The Role field
+	// names the lost role.
 	NodeDeadError = fault.NodeDeadError
 )
 
@@ -316,7 +321,12 @@ func WithMesh() Option { return func(o *Options) { o.Mesh = true } }
 
 // WithReplication mirrors each home's page state onto its k successor
 // nodes so a crashed home's pages can be re-homed (home-based protocols
-// only). Without it, a crash of a node that homes pages is fatal.
+// only). The same backups shadow the node's synchronization-manager
+// state, so its lock-manager and barrier-manager roles fail over too:
+// the lowest-id live backup is promoted, stranded free lock tokens are
+// reclaimed, and in-flight synchronization traffic is redirected.
+// Without replication, a permanent crash of a node whose pages or
+// manager roles are in use is fatal.
 func WithReplication(k int) Option {
 	return func(o *Options) { o.Recovery.Replicas = k }
 }

@@ -46,8 +46,8 @@ func TestAppsSurviveHomeCrash(t *testing.T) {
 							// Short RTO: suspicion (3 attempts) fires well
 							// inside the outage. The outage stays shorter
 							// than the retry layer's give-up horizon so
-							// synchronization traffic to the crashed node
-							// (which is not failed over) survives it.
+							// traffic still chasing the restarting node
+							// (e.g. a pinned held lock token) survives it.
 							RTO: 100 * sim.Microsecond,
 							Crashes: []fault.Crash{
 								{Node: 1, At: at, RestartAt: at + 5*sim.Millisecond},

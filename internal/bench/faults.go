@@ -16,10 +16,12 @@ import (
 
 // FaultSweep reruns the Table-2 speedup grid under fault injection: one
 // sub-table per profile, every cell a full validated run. The lossy and
-// hostile profiles exercise all four protocols; the crash profile only
+// hostile profiles exercise all four protocols; the crash profiles only
 // the home-based ones (re-homing needs a home), with one replica per
-// home so the mid-run crash of node 1 is survivable. Faulted runs are
-// not memoized — the plan is part of the cell.
+// home so the mid-run crashes are survivable. The crash-mgr profile
+// additionally kills the synchronization managers, exercising the
+// lock/barrier-manager failover path. Faulted runs are not memoized —
+// the plan is part of the cell.
 //
 // When jsonDir is non-empty every cell's statistics are written there as
 // fault-<profile>-<app>-<proto>-p<procs>.json for machine consumption.
@@ -42,10 +44,16 @@ func (r *Runner) FaultSweep(out io.Writer, profiles []string, seed int64, jsonDi
 
 // faultProtocols returns the protocol columns for one profile.
 func faultProtocols(profile string) []core.Protocol {
-	if profile == fault.ProfileCrash {
+	if crashProfile(profile) {
 		return []core.Protocol{core.ProtoHLRC, core.ProtoOHLRC}
 	}
 	return []core.Protocol{core.ProtoLRC, core.ProtoOLRC, core.ProtoHLRC, core.ProtoOHLRC}
+}
+
+// crashProfile reports whether profile kills nodes (and so requires the
+// home-based protocols plus replication).
+func crashProfile(profile string) bool {
+	return profile == fault.ProfileCrash || profile == fault.ProfileCrashMgr
 }
 
 func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir string) error {
@@ -54,7 +62,7 @@ func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir s
 		return err
 	}
 	protos := faultProtocols(profile)
-	crash := profile == fault.ProfileCrash
+	crash := crashProfile(profile)
 
 	// Fan every cell of the grid out across workers, then render the
 	// table and per-cell JSON sequentially in fixed grid order, so the
@@ -91,8 +99,11 @@ func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir s
 	next := 0 // cells[] index, advanced in the same nesting order as below
 
 	fmt.Fprintf(out, "Speedups under fault profile %q (seed %d)\n", profile, seed)
-	if crash {
+	switch profile {
+	case fault.ProfileCrash:
 		fmt.Fprintln(out, "home-based protocols with Recovery.Replicas=1; node 1 crashes mid-run and its pages are re-homed")
+	case fault.ProfileCrashMgr:
+		fmt.Fprintln(out, "home-based protocols with Recovery.Replicas=1; the barrier manager (node 0) and a lock manager (node 1) crash in turn, their manager roles failing over to backups")
 	}
 	tw := tabwriter.NewWriter(out, 4, 8, 2, ' ', 0)
 	fmt.Fprint(tw, "Application\tProcs")
@@ -102,13 +113,16 @@ func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir s
 	if crash {
 		fmt.Fprint(tw, "\trehomed\tdetect(ms)")
 	}
+	if profile == fault.ProfileCrashMgr {
+		fmt.Fprint(tw, "\tmgrs\tlocks")
+	}
 	fmt.Fprintln(tw)
 
 	for _, app := range AppNames() {
 		seq := r.Seq(app).Stats.Elapsed
 		for _, procs := range r.Procs {
 			fmt.Fprintf(tw, "%s\t%d", app, procs)
-			var rehomed int64
+			var rehomed, mgrs, locks int64
 			var detect sim.Time
 			for _, proto := range protos {
 				res := results[next]
@@ -117,6 +131,8 @@ func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir s
 				fmt.Fprintf(tw, "\t%.2f", res.Stats.Speedup())
 				for _, nd := range res.Stats.Nodes {
 					rehomed += nd.Counts.PagesRehomed
+					mgrs += nd.Counts.MgrsRehomed
+					locks += nd.Counts.LocksReclaimed
 					if nd.Detect > detect {
 						detect = nd.Detect
 					}
@@ -138,6 +154,9 @@ func (r *Runner) faultTable(out io.Writer, profile string, seed int64, jsonDir s
 			}
 			if crash {
 				fmt.Fprintf(tw, "\t%d\t%.2f", rehomed, detect.Micros()/1e3)
+			}
+			if profile == fault.ProfileCrashMgr {
+				fmt.Fprintf(tw, "\t%d\t%d", mgrs, locks)
 			}
 			fmt.Fprintln(tw)
 		}

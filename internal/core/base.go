@@ -65,6 +65,16 @@ type base struct {
 
 	bmgr *barrierMgr // non-nil on the barrier manager node
 
+	// mshadow is the backup-side copy of manager state mirrored to this
+	// node by the managers it backs (kMgrMirror, mgr.go). Zero unless
+	// Recovery.Replicas > 0.
+	mshadow mgrShadow
+
+	// synthClosed is set when lock reclamation closed this crashed
+	// node's open interval on paper (synthCloseOpen); the restart makes
+	// the close real so parked fetches waiting on its writes can drain.
+	synthClosed bool
+
 	// tree is non-nil when the machine uses the k-ary tree barrier
 	// (treebarrier.go). The centralized manager above still exists on
 	// node 0 for the GC rendezvous.
@@ -75,9 +85,10 @@ type base struct {
 }
 
 type lockState struct {
-	owner bool          // this node holds the lock token
-	held  bool          // the application is inside the critical section
-	queue []paragon.Msg // forwarded acquire requests awaiting our release
+	owner  bool          // this node holds the lock token
+	held   bool          // the application is inside the critical section
+	wanted bool          // this node's own remote acquire is in flight
+	queue  []paragon.Msg // forwarded acquire requests awaiting our release
 }
 
 func (b *base) init(sys *System, self int, co coherence) {
@@ -161,6 +172,23 @@ func (b *base) newIntervalRec() *IntervalRec {
 	b.dirty = nil
 	b.insertLog(rec)
 	return rec
+}
+
+// synthCloseOpen closes this node's open interval on paper only: the
+// record enters the log and the clock advances, so reclamation can hand
+// a revoked token's next holder the write notices it depends on. The
+// data itself stays private — the dirty list and twins are kept intact,
+// and the restart turns the close into a real one (rejoin, recover.go),
+// flushing diffs whose interval index is at least this record's, which
+// is what the homes' flush vectors park dependent fetches on.
+func (b *base) synthCloseOpen() {
+	if len(b.dirty) == 0 {
+		return
+	}
+	saved := b.dirty
+	b.newIntervalRec()
+	b.dirty = saved
+	b.synthClosed = true
 }
 
 // insertLog stores rec in the interval log with memory accounting.
@@ -248,7 +276,10 @@ func (b *base) applyGrant(g grantInfo) {
 // ---------------------------------------------------------------------------
 // Locks
 
-func (b *base) lockMgrNode(lock int) int { return lock % b.sys.Opts.NumProcs }
+// lockMgrNode is the node currently serving lock-manager duty for lock:
+// the natural manager (lock % NumProcs) unless a crash promoted one of
+// its backups (see mgr.go).
+func (b *base) lockMgrNode(lock int) int { return b.sys.lockMgrOf(lock) }
 
 // syncTarget is where synchronization messages (lock, barrier, GC
 // rendezvous) are serviced: the compute processor in the paper's four
@@ -294,6 +325,7 @@ func (b *base) Acquire(lock int) {
 		Body:   &lockReq{Lock: lock, Requester: b.self, ReqVC: b.clock.Copy()},
 	}
 	var resp paragon.Msg
+	ls.wanted = true
 	mgr := b.lockMgrNode(lock)
 	if mgr == b.self {
 		// We are the manager: forward straight to the owner.
@@ -317,6 +349,7 @@ func (b *base) Acquire(lock int) {
 	b.applyGrant(*g)
 	ls.owner = true
 	ls.held = true
+	ls.wanted = false
 }
 
 // Release implements UNLOCK. If remote requests are queued, the release is
@@ -360,21 +393,48 @@ type lockReq struct {
 	Lock      int
 	Requester int
 	ReqVC     vc.VC
+
+	// Chase marks a request whose forward died with a crashed owner
+	// after the token was reclaimed: it must reconnect straight to the
+	// reclaimed token at the manager, without re-entering the
+	// genealogical chain (the owner table's tail already records it).
+	Chase bool
 }
 
 func (b *base) mgrOwner(lock int) int {
 	if o, ok := b.lockOwner[lock]; ok {
 		return o
 	}
-	return b.self
+	// An untouched lock's token rides with the manager role, so a
+	// promoted manager owns the unmaterialized locks it adopted.
+	return b.sys.lockMgrOf(lock)
 }
 
-func (b *base) mgrSetOwner(lock, owner int) { b.lockOwner[lock] = owner }
+func (b *base) mgrSetOwner(lock, owner int) {
+	b.lockOwner[lock] = owner
+	b.mirrorLockOwner(lock, owner)
+}
 
 // handleLockAcq services a kLockAcq at the manager (dispatcher context).
 func (b *base) handleLockAcq(m paragon.Msg) (sim.Time, func()) {
 	return b.costs().LockHandling, func() {
 		lr := m.Body.(*lockReq)
+		if mgr := b.sys.lockMgrOf(lr.Lock); mgr != b.self {
+			// Stale delivery: the manager role moved to a backup while
+			// this request was in flight or frozen on the crashed
+			// manager. Forward to the current manager.
+			b.st().Counts.LockForwards++
+			b.node.Send(mgr, m)
+			return
+		}
+		if lr.Chase {
+			// The requester's forward was severed by a crash and the
+			// token was reclaimed here. Hand it the token (or queue for
+			// our release) without touching the owner table: the tail
+			// still correctly records the youngest requester.
+			b.ownerReceives(m, lr)
+			return
+		}
 		owner := b.mgrOwner(lr.Lock)
 		b.mgrSetOwner(lr.Lock, lr.Requester)
 		m.Kind = kLockFwd // from here on the message is a forwarded request
@@ -403,6 +463,18 @@ func (b *base) handleLockFwd(m paragon.Msg) (sim.Time, func()) {
 	return work, func() {
 		ls := b.lockState(lr.Lock)
 		if !ls.owner || ls.held {
+			if !ls.owner && !ls.held && !ls.wanted {
+				// Neither owning, holding, nor acquiring: the token was
+				// revoked from this node by crash reclamation while this
+				// forward was frozen in flight. Re-route to the current
+				// manager as a chase, which reconnects the requester to
+				// the reclaimed token.
+				b.st().Counts.LockForwards++
+				m.Kind = kLockAcq
+				lr.Chase = true
+				b.node.Send(b.sys.lockMgrOf(lr.Lock), m)
+				return
+			}
 			// Busy, or ownership still in flight: queue for our release.
 			ls.queue = append(ls.queue, m)
 			return
@@ -438,14 +510,23 @@ func (b *base) ownerReceives(m paragon.Msg, lr *lockReq) {
 // ---------------------------------------------------------------------------
 // Barriers
 
-// barrierManager is the node that runs the centralized barrier algorithm.
+// barrierManager is the node that initially runs the centralized barrier
+// algorithm. Under crash recovery the role can move to a backup; route
+// through System.bmgrNode, not this constant.
 const barrierManager = 0
+
+// bmgrArrival pairs one registered barrier arrival with the request that
+// delivered it. req is the zero Msg for the manager's own local arrival
+// (and for arrivals adopted from a crashed manager whose own app proc is
+// parked at the barrier).
+type bmgrArrival struct {
+	rep *barrierReport
+	req paragon.Msg
+}
 
 type barrierMgr struct {
 	nproc    int
-	arrived  int
-	waiters  []paragon.Msg // parked remote requests, in arrival order
-	reports  []*barrierReport
+	arrivals []bmgrArrival // registered arrivals, in genealogical order
 	episodes int
 
 	// localWait/localRelease hand the manager's own release from
@@ -495,7 +576,7 @@ func (b *base) Barrier(id int) {
 	t0 := b.app().Now()
 	if b.tree != nil {
 		g = b.treeArrive(id, rep)
-	} else if b.self == barrierManager {
+	} else if b.self == b.sys.bmgrNode() {
 		release := b.bmgrArrive(rep, paragon.Msg{})
 		if release == nil {
 			// Wait for the stragglers; the dispatcher completes the
@@ -507,7 +588,7 @@ func (b *base) Barrier(id int) {
 		}
 		g = release
 	} else {
-		resp := b.node.Call(b.app(), barrierManager, paragon.Msg{
+		resp := b.node.Call(b.app(), b.sys.bmgrNode(), paragon.Msg{
 			Kind:   kBarrier,
 			Size:   8 + rep.VC.WireSize() + recsWireSize(rep.Recs),
 			Class:  stats.ClassProtocol,
@@ -528,12 +609,18 @@ func (b *base) Barrier(id int) {
 // is the local node; remote completions are sent from dispatcher context.
 func (b *base) bmgrArrive(rep *barrierReport, req paragon.Msg) *grantInfo {
 	mgr := b.bmgr
-	mgr.reports = append(mgr.reports, rep)
-	if req.Reply != nil {
-		mgr.waiters = append(mgr.waiters, req)
+	for _, a := range mgr.arrivals {
+		if a.rep.Node == rep.Node {
+			// Duplicate delivery: the arrival was already adopted from a
+			// crashed manager and the in-flight copy caught up. Drop it;
+			// the registered arrival holds a live reply path.
+			return nil
+		}
 	}
-	mgr.arrived++
-	if mgr.arrived < mgr.nproc {
+	mgr.arrivals = append(mgr.arrivals, bmgrArrival{rep: rep, req: req})
+	// Keep the backups' shadow in step before any release can be sent.
+	b.mirrorBarrierArrival(rep)
+	if len(mgr.arrivals) < mgr.nproc {
 		return nil
 	}
 	return b.bmgrComplete()
@@ -545,9 +632,9 @@ func (b *base) bmgrComplete() *grantInfo {
 	mgr := b.bmgr
 	// Merge every reported interval into the manager's log. Reports carry
 	// each node's *own* intervals, so together they cover everything.
-	for _, rep := range mgr.reports {
-		for i := range rep.Recs {
-			rec := rep.Recs[i]
+	for _, a := range mgr.arrivals {
+		for i := range a.rep.Recs {
+			rec := a.rep.Recs[i]
 			if !b.hasLogRec(rec.Proc, rec.Interval) {
 				r := rec
 				b.insertLog(&r)
@@ -555,36 +642,46 @@ func (b *base) bmgrComplete() *grantInfo {
 		}
 	}
 	merged := b.clock.Copy()
-	for _, rep := range mgr.reports {
-		merged.MaxWith(rep.VC)
+	for _, a := range mgr.arrivals {
+		merged.MaxWith(a.rep.VC)
 	}
 	for p := range b.log {
 		if n := len(b.log[p]); n > 0 && b.log[p][n-1].Interval > merged[p] {
 			merged[p] = b.log[p][n-1].Interval
 		}
 	}
-	gc := b.sys.gcDecider != nil && b.sys.gcDecider(mgr.reports)
+	var gc bool
+	if b.sys.gcDecider != nil {
+		reports := make([]*barrierReport, len(mgr.arrivals))
+		for i, a := range mgr.arrivals {
+			reports[i] = a.rep
+		}
+		gc = b.sys.gcDecider(reports)
+	}
 	var local *grantInfo
-	wi := 0
-	for _, rep := range mgr.reports {
-		g := grantInfo{VC: merged.Copy(), GC: gc, Intervals: b.releaseRecsFor(rep)}
-		if rep.Node == b.self {
+	for _, a := range mgr.arrivals {
+		g := grantInfo{VC: merged.Copy(), GC: gc, Intervals: b.releaseRecsFor(a.rep)}
+		if a.req.Reply != nil {
+			b.node.Respond(a.req, paragon.Msg{
+				Kind:  kBarrier,
+				Size:  g.wireSize(),
+				Class: stats.ClassProtocol,
+				Body:  &g,
+			})
+			continue
+		}
+		if a.rep.Node == b.self {
 			local = &g
 			continue
 		}
-		req := mgr.waiters[wi]
-		wi++
-		b.node.Respond(req, paragon.Msg{
-			Kind:  kBarrier,
-			Size:  g.wireSize(),
-			Class: stats.ClassProtocol,
-			Body:  &g,
-		})
+		// An arrival adopted from a crashed manager: its node's app proc
+		// is parked locally at the barrier over there. Hand the release
+		// to that engine and wake it (or let rejoin deliver it).
+		b.deliverAdoptedRelease(a.rep.Node, &g)
 	}
-	mgr.arrived = 0
-	mgr.reports = nil
-	mgr.waiters = nil
+	mgr.arrivals = nil
 	mgr.episodes++
+	b.mirrorBarrierReset()
 	if b.sys.onBarrier != nil {
 		b.sys.onBarrier(mgr.episodes)
 	}
@@ -621,6 +718,13 @@ func (b *base) hasLogRec(proc int, interval int32) bool {
 // handleBarrier services a remote barrier arrival at the manager.
 func (b *base) handleBarrier(m paragon.Msg) (sim.Time, func()) {
 	return b.costs().LockHandling, func() {
+		if mgr := b.sys.bmgrNode(); mgr != b.self {
+			// Stale delivery after a manager failover (the arrival was
+			// frozen on this node's crashed dispatcher, or in flight when
+			// the role moved). Forward; arrival registration dedups.
+			b.node.Send(mgr, m)
+			return
+		}
 		rep := m.Body.(*barrierReport)
 		if g := b.bmgrArrive(rep, m); g != nil {
 			// The remote arrival completed the barrier and the local
@@ -639,9 +743,10 @@ func (b *base) handleBarrier(m paragon.Msg) (sim.Time, func()) {
 // manager (used by the homeless protocols after GC validation, so nobody
 // discards diffs another node may still need).
 func (b *base) gcRendezvous() {
-	if b.self == barrierManager {
+	if b.self == b.sys.bmgrNode() {
 		mgr := b.bmgr
 		mgr.gcDone++
+		b.mirrorGCDone()
 		if b.gcMaybeComplete() {
 			return
 		}
@@ -649,7 +754,7 @@ func (b *base) gcRendezvous() {
 		b.app().Park("gc rendezvous")
 		return
 	}
-	b.node.Call(b.app(), barrierManager, paragon.Msg{
+	b.node.Call(b.app(), b.sys.bmgrNode(), paragon.Msg{
 		Kind:   kGCDone,
 		Size:   8,
 		Class:  stats.ClassProtocol,
@@ -683,6 +788,7 @@ func (b *base) gcMaybeComplete() bool {
 func (b *base) handleGCDone(m paragon.Msg) (sim.Time, func()) {
 	return 0, func() {
 		b.bmgr.gcDone++
+		b.mirrorGCDone()
 		b.bmgr.gcWaiters = append(b.bmgr.gcWaiters, m)
 		b.gcMaybeComplete()
 	}

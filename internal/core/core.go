@@ -206,6 +206,7 @@ const (
 	kBarrierDown             // tree barrier: parent -> child subtree release
 	kPrefetch                // reader -> home: asynchronous page prefetch request
 	kPrefetchResp            // home -> reader: best-effort page snapshot
+	kMgrMirror               // manager -> backup: mirrored lock/barrier manager state
 )
 
 // IntervalRec is the write-notice record for one interval: the pages the
@@ -322,6 +323,8 @@ func msgKindName(kind int) string {
 		return "prefetch"
 	case kPrefetchResp:
 		return "prefetch-resp"
+	case kMgrMirror:
+		return "mgr-mirror"
 	}
 	return fmt.Sprintf("kind-%d", kind)
 }

@@ -37,6 +37,12 @@ type hlrcEngine struct {
 	mirrors   map[int]*mirrorPage
 	dlog      map[int][]*diffFlush
 	ckptDirty map[int]bool
+
+	// lateInval holds pages a mid-interval write notice could not
+	// invalidate because they sit in the open interval (only lock
+	// reclamation's absorbFrom delivers notices mid-interval); the next
+	// closeCommit invalidates them right after reprotection.
+	lateInval []int32
 }
 
 // hlrcPage is per-page protocol state on one node.
@@ -309,6 +315,7 @@ func (e *hlrcEngine) closeCost() sim.Time {
 			cost += e.costs().DiffCreateCost(e.sys.Space.PageWords)
 		}
 	}
+	cost += sim.Time(len(e.lateInval)) * e.costs().PageInval
 	return cost
 }
 
@@ -388,6 +395,16 @@ func (e *hlrcEngine) closeCommit() {
 		e.logDiff(df)
 		e.sendDiff(df)
 	}
+	// Deferred mid-interval invalidations (noticePage): now that the
+	// interval is closed and the pages reprotected, drop the copies.
+	for _, pg32 := range e.lateInval {
+		p := e.pt.Page(int(pg32))
+		if p.State == mem.ReadOnly {
+			p.State = mem.Invalid
+			e.emit(trace.Invalidate, int(pg32), -1, 0)
+		}
+	}
+	e.lateInval = nil
 }
 
 // sendAUUpdate ships an automatic-update flush: sized by store count
@@ -434,6 +451,17 @@ func (e *hlrcEngine) noticePage(rec *IntervalRec, page int) sim.Time {
 	if p.State == mem.Invalid {
 		return 0
 	}
+	if p.State == mem.ReadWrite {
+		// Mid-interval notice: only reclamation's absorbFrom can apply
+		// one (a grant's notices always follow closeIntervalOnApp).
+		// Invalidating now would sever the open interval's twin/dirty
+		// bookkeeping — a re-write would fault, refetch over the local
+		// writes, and re-enter the dirty list. Defer until the close
+		// reprotects the page; seen is already raised, so the eventual
+		// refetch waits out the noticed writer's flush.
+		e.lateInval = append(e.lateInval, int32(page))
+		return 0
+	}
 	p.State = mem.Invalid
 	e.emit(trace.Invalidate, page, rec.Proc, 0)
 	return e.costs().PageInval
@@ -474,6 +502,8 @@ func (e *hlrcEngine) handleCompute(m paragon.Msg) (sim.Time, func()) {
 		return e.handlePrefetchResp(m)
 	case kMirror:
 		return e.handleMirror(m)
+	case kMgrMirror:
+		return e.handleMgrMirror(m)
 	case kCkptNote:
 		return e.handleCkptNote(m)
 	case kRecoverPull:
@@ -496,6 +526,8 @@ func (e *hlrcEngine) handleCoproc(m paragon.Msg) (sim.Time, func()) {
 		return e.handlePrefetchResp(m)
 	case kMirror:
 		return e.handleMirror(m)
+	case kMgrMirror:
+		return e.handleMgrMirror(m)
 	case kCkptNote:
 		return e.handleCkptNote(m)
 	case kRecoverPull:

@@ -1,0 +1,593 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gosvm/internal/fault"
+	"gosvm/internal/paragon"
+	"gosvm/internal/sim"
+	"gosvm/internal/stats"
+)
+
+// This file fails over the synchronization-manager roles the way
+// recover.go fails over the home role: each manager's state (the
+// lock-owner table, barrier arrivals, GC-done counts) is mirrored to its
+// K backups — the same replicasOf set that mirrors its home pages —
+// before any grant or release that depends on the mutation is sent. On
+// a watchdog-declared failure a deterministic promotion rule (the
+// lowest-id live backup) takes over the dead node's manager roles,
+// re-registers its accepted barrier arrivals in the original
+// genealogical order, reclaims free lock tokens stranded on it, and
+// redirects in-flight kLockAcq/kLockFwd/kBarrier traffic.
+//
+// Like adoptPage, promotion runs instantaneously in event context and
+// reads the failed manager's tables directly: the simulation's stand-in
+// for replaying the mirrored shadow on the backup. Mirror-before-grant
+// ordering makes the two provably identical — no mutation becomes
+// visible to any third node before its mirror is on the wire.
+
+// lockMgrOf returns the node currently holding lock-manager duty for
+// lock: the natural manager (lock % NumProcs) unless a crash promoted a
+// backup.
+func (s *System) lockMgrOf(lock int) int {
+	nat := lock % s.Opts.NumProcs
+	if s.syncMgr == nil {
+		return nat
+	}
+	return s.syncMgr[nat]
+}
+
+// bmgrNode returns the node currently running the centralized barrier
+// (and the homeless GC rendezvous).
+func (s *System) bmgrNode() int { return s.bmNode }
+
+// engineBase returns node n's shared protocol base. Crash recovery
+// requires the home-based protocols, so the concrete engine here is
+// always *hlrcEngine.
+func (s *System) engineBase(n int) *base {
+	return &s.Engines[n].(*hlrcEngine).base
+}
+
+// mgrShadow is a backup's replica of mirrored manager state. Promotion
+// reads the failed manager's authoritative tables (see the file
+// comment), so the shadow serves as the cost model and a cross-check.
+type mgrShadow struct {
+	lockOwner   map[int]int
+	barArrived  int
+	barEpisodes int
+	gcDone      int
+}
+
+// mgrMirror is the kMgrMirror payload: one incremental manager-state
+// update, sent to every backup before the dependent grant or release.
+type mgrMirror struct {
+	Lock   int            // >= 0: owner-table update for this lock
+	Owner  int            // new owner (owner-table update)
+	Rep    *barrierReport // non-nil: one barrier arrival
+	Reset  bool           // barrier released: arrival state cleared
+	GCDone bool           // homeless GC rendezvous arrival
+}
+
+// mirrorEnabled reports whether manager mutations are mirrored: the run
+// has the recovery subsystem and at least one backup per role.
+func (b *base) mirrorEnabled() bool {
+	return b.sys.rec != nil && b.sys.rec.k > 0
+}
+
+func (b *base) sendMgrMirror(mm *mgrMirror, size int) {
+	for _, rep := range b.sys.replicasOf(b.self) {
+		b.st().MirrorBytes += int64(size)
+		b.node.Send(rep, paragon.Msg{
+			Kind:   kMgrMirror,
+			Size:   size,
+			Class:  stats.ClassProtocol,
+			Target: b.syncTarget(),
+			Body:   mm,
+		})
+	}
+}
+
+// mirrorLockOwner replicates one owner-table update to this manager's
+// backups. Called from mgrSetOwner, which every owner-table mutation
+// goes through — always before the forward or grant it enables.
+func (b *base) mirrorLockOwner(lock, owner int) {
+	if !b.mirrorEnabled() {
+		return
+	}
+	b.sendMgrMirror(&mgrMirror{Lock: lock, Owner: owner}, 12)
+}
+
+// mirrorBarrierArrival replicates one registered arrival (report
+// included) before the arrival can contribute to a release.
+func (b *base) mirrorBarrierArrival(rep *barrierReport) {
+	if !b.mirrorEnabled() {
+		return
+	}
+	b.sendMgrMirror(&mgrMirror{Lock: -1, Rep: rep},
+		8+rep.VC.WireSize()+recsWireSize(rep.Recs))
+}
+
+// mirrorBarrierReset tells the backups a barrier episode completed.
+func (b *base) mirrorBarrierReset() {
+	if !b.mirrorEnabled() {
+		return
+	}
+	b.sendMgrMirror(&mgrMirror{Lock: -1, Reset: true}, 8)
+}
+
+// mirrorGCDone replicates one homeless GC rendezvous arrival.
+func (b *base) mirrorGCDone() {
+	if !b.mirrorEnabled() {
+		return
+	}
+	b.sendMgrMirror(&mgrMirror{Lock: -1, GCDone: true}, 8)
+}
+
+// handleMgrMirror applies one mirrored update to this backup's shadow.
+// A backup promoted in the meantime drops stragglers: its live tables
+// are already authoritative.
+func (b *base) handleMgrMirror(m paragon.Msg) (sim.Time, func()) {
+	return b.costs().LockHandling, func() {
+		mm := m.Body.(*mgrMirror)
+		sh := &b.mshadow
+		switch {
+		case mm.Lock >= 0:
+			if b.sys.lockMgrOf(mm.Lock) == b.self {
+				return
+			}
+			if sh.lockOwner == nil {
+				sh.lockOwner = make(map[int]int)
+			}
+			sh.lockOwner[mm.Lock] = mm.Owner
+		case mm.Rep != nil:
+			if b.sys.bmgrNode() == b.self {
+				return
+			}
+			sh.barArrived++
+		case mm.Reset:
+			if b.sys.bmgrNode() == b.self {
+				return
+			}
+			sh.barArrived = 0
+			sh.barEpisodes++
+		case mm.GCDone:
+			sh.gcDone++
+		}
+	}
+}
+
+// deliverAdoptedRelease hands a barrier release to a node whose arrival
+// was adopted from a crashed manager: that node's app proc is parked in
+// its own (ex-manager) local-release slot. If the node is still down
+// the release waits there and rejoin wakes the proc at restart.
+func (b *base) deliverAdoptedRelease(node int, g *grantInfo) {
+	ob := b.sys.engineBase(node)
+	if ob.bmgr == nil {
+		return
+	}
+	ob.bmgr.localRelease = g
+	if ob.bmgr.localWait != nil && !b.sys.M.Down(node) {
+		w := ob.bmgr.localWait
+		ob.bmgr.localWait = nil
+		w.Unpark()
+	}
+}
+
+// lockSlotsOf returns the natural lock-manager slots currently served
+// by node, in slot order.
+func (s *System) lockSlotsOf(node int) []int {
+	var slots []int
+	for nat := 0; nat < s.Opts.NumProcs; nat++ {
+		if s.lockMgrOf(nat) == node {
+			slots = append(slots, nat)
+		}
+	}
+	return slots
+}
+
+// lockRoleInUse reports whether any lock managed by dead has been
+// touched by another node — materialized state or an owner-table entry
+// — and returns one such lock for the error message. Locks only the
+// dead node itself ever used are private surviving state, not a
+// dependency of the rest of the machine.
+func (s *System) lockRoleInUse(dead int) (int, bool) {
+	var locks []int
+	seen := make(map[int]bool)
+	for n := range s.Engines {
+		if n == dead {
+			continue
+		}
+		nb := s.engineBase(n)
+		for l := range nb.locks {
+			if !seen[l] {
+				seen[l] = true
+				locks = append(locks, l)
+			}
+		}
+		for l := range nb.lockOwner {
+			if !seen[l] {
+				seen[l] = true
+				locks = append(locks, l)
+			}
+		}
+	}
+	sort.Ints(locks)
+	for _, l := range locks {
+		if s.lockMgrOf(l) == dead {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// aliveMgrSuccessor elects the new holder of the dead node's manager
+// roles: the lowest-id live backup. Deliberately distinct from
+// aliveSuccessor's ring order — the promotion rule is protocol-visible
+// and must stay deterministic under overlapping outages.
+func (s *System) aliveMgrSuccessor(dead int) int {
+	best := -1
+	for _, cand := range s.replicasOf(dead) {
+		if s.M.Down(cand) {
+			continue
+		}
+		if best < 0 || cand < best {
+			best = cand
+		}
+	}
+	return best
+}
+
+// failoverManagers moves the dead node's synchronization-manager roles
+// to the elected backup, reclaims stranded lock tokens, and redirects
+// in-flight synchronization traffic. With no backups (K=0) an in-use
+// role is unrecoverable and the run fails fast, at detection time, with
+// an error naming the manager — not a generic watchdog timeout.
+func (s *System) failoverManagers(dead int, now sim.Time) {
+	r := s.rec
+	slots := s.lockSlotsOf(dead)
+	barRole := s.bmgrNode() == dead && s.Opts.NumProcs > 1
+
+	fail := func(role, reason string) {
+		c, _ := r.crashOf(dead, now)
+		s.fatal = &fault.NodeDeadError{
+			Node:     dead,
+			At:       c.At,
+			Restarts: !c.Permanent(),
+			Role:     role,
+			Reason:   reason,
+		}
+		s.K.Stop()
+	}
+
+	c, _ := r.crashOf(dead, now)
+
+	if r.k == 0 {
+		// Without backups a manager role cannot move. A transient
+		// outage heals by retransmission — requests wait out the
+		// restart, as they always did — but a permanent crash of an
+		// in-use role is unrecoverable: fail fast, at detection time,
+		// naming the manager.
+		if c.Permanent() {
+			if barRole {
+				fail("barrier manager", "no backup holds the barrier arrival state (Recovery.Replicas=0)")
+				return
+			}
+			if len(slots) > 0 {
+				if l, used := s.lockRoleInUse(dead); used {
+					fail("lock manager",
+						fmt.Sprintf("no backup holds the owner table for lock %d (Recovery.Replicas=0)", l))
+					return
+				}
+			}
+		}
+		// The dead node may still strand lock tokens it acquired as an
+		// ordinary owner.
+		if revoked, ok := s.reclaimLocks(dead, now); ok {
+			s.redirectSyncTraffic(dead, revoked)
+		}
+		return
+	}
+
+	if barRole && s.Opts.Machine.TreeBarrier() {
+		// The tree barrier's root is structural and not failed over; a
+		// restarting root replays its frozen combine state instead.
+		if c.Permanent() {
+			fail("barrier manager", "the tree-barrier root is not failed over")
+			return
+		}
+		barRole = false
+	}
+	if barRole || len(slots) > 0 {
+		succ := s.aliveMgrSuccessor(dead)
+		if succ < 0 {
+			role := "lock manager"
+			if barRole {
+				role = "barrier manager"
+			}
+			fail(role, "all manager backups are down")
+			return
+		}
+		if len(slots) > 0 {
+			s.promoteLockMgr(dead, succ, slots)
+		}
+		if barRole {
+			s.promoteBarrierMgr(dead, succ)
+		}
+	}
+	if revoked, ok := s.reclaimLocks(dead, now); ok {
+		s.redirectSyncTraffic(dead, revoked)
+	}
+}
+
+// promoteLockMgr moves the dead node's lock-manager slots to succ and
+// adopts its owner table for the moved locks. Re-mirroring the adopted
+// entries keeps the role crash-tolerant after the promotion, exactly as
+// reseedReplicas does for adopted pages.
+func (s *System) promoteLockMgr(dead, succ int, slots []int) {
+	if s.syncMgr == nil {
+		s.syncMgr = make([]int, s.Opts.NumProcs)
+		for i := range s.syncMgr {
+			s.syncMgr[i] = i
+		}
+	}
+	for _, nat := range slots {
+		s.syncMgr[nat] = succ
+	}
+	db := s.engineBase(dead)
+	sb := s.engineBase(succ)
+	moved := make([]int, 0, len(db.lockOwner))
+	for l := range db.lockOwner {
+		if s.lockMgrOf(l) == succ {
+			moved = append(moved, l)
+		}
+	}
+	sort.Ints(moved)
+	for _, l := range moved {
+		sb.mgrSetOwner(l, db.lockOwner[l])
+		delete(db.lockOwner, l)
+		delete(sb.mshadow.lockOwner, l)
+	}
+	// The token of a moved lock nobody ever materialized — the dead
+	// manager included — still rides with the manager role, and now
+	// rests with succ. Locks succ touches for the first time after the
+	// promotion get that for free from lockState's default, but a state
+	// it materialized before (its own acquire caught mid-flight by the
+	// crash) says owner=false and must be re-seated, or the redirected
+	// request would queue on a token that no longer exists anywhere.
+	var stale []int
+	for l, ls := range sb.locks {
+		if !ls.owner && s.lockMgrOf(l) == succ && db.locks[l] == nil {
+			stale = append(stale, l)
+		}
+	}
+	sort.Ints(stale)
+	for _, l := range stale {
+		owned := false
+		for n := range s.Engines {
+			if nls := s.engineBase(n).locks[l]; nls != nil && nls.owner {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			sb.locks[l].owner = true
+		}
+	}
+	sb.st().Counts.MgrsRehomed += int64(len(slots))
+	s.M.Nodes[succ].CPU.Steal(s.Opts.Costs.LockHandling * sim.Time(len(slots)))
+}
+
+// promoteBarrierMgr moves the centralized barrier to succ, re-registering
+// the arrivals the dead manager had accepted in their original
+// genealogical order. The remote waiters' reply ports live in the
+// transport layer and survive the crash, so the promoted manager
+// responds straight to them at completion; the dead manager's own local
+// arrival (zero req) flows back through deliverAdoptedRelease.
+func (s *System) promoteBarrierMgr(dead, succ int) {
+	db := s.engineBase(dead)
+	sb := s.engineBase(succ)
+	s.bmNode = succ
+	if sb.bmgr == nil {
+		sb.bmgr = newBarrierMgr(s.Opts.NumProcs)
+	}
+	adopted := 0
+	if db.bmgr != nil {
+		sb.bmgr.arrivals = append(sb.bmgr.arrivals, db.bmgr.arrivals...)
+		sb.bmgr.episodes = db.bmgr.episodes
+		sb.bmgr.gcDone = db.bmgr.gcDone
+		sb.bmgr.gcWaiters = append(sb.bmgr.gcWaiters, db.bmgr.gcWaiters...)
+		db.bmgr.arrivals = nil
+		db.bmgr.gcWaiters = nil
+		adopted = len(sb.bmgr.arrivals)
+		for _, a := range sb.bmgr.arrivals {
+			sb.mirrorBarrierArrival(a.rep)
+		}
+	}
+	sb.mshadow.barArrived = 0
+	sb.st().Counts.MgrsRehomed++
+	s.M.Nodes[succ].CPU.Steal(s.Opts.Costs.LockHandling * sim.Time(adopted+1))
+}
+
+// reclaimLocks revokes free lock tokens stranded on the dead node: for
+// every lock whose token demonstrably sits free on it (cached, not held
+// inside a critical section), the lock's manager takes the token back
+// and absorbs the dead node's coherence knowledge, so the next grant
+// carries its write notices and acquirers proceed at detection time
+// instead of waiting out the outage. Held tokens stay pinned — mutual
+// exclusion forbids revoking a critical section — which is fatal if the
+// holder never restarts, as is dying permanently mid-acquire (the grant
+// in flight would deliver the token to a corpse). Returns the set of
+// revoked locks, and false when the run was declared dead.
+func (s *System) reclaimLocks(dead int, now sim.Time) (map[int]bool, bool) {
+	r := s.rec
+	db := s.engineBase(dead)
+	c, _ := r.crashOf(dead, now)
+
+	fatalOwner := func(reason string) {
+		s.fatal = &fault.NodeDeadError{
+			Node: dead, At: c.At, Role: "lock owner", Reason: reason,
+		}
+		s.K.Stop()
+	}
+
+	if c.Permanent() {
+		var want []int
+		for l, ls := range db.locks {
+			if ls.wanted {
+				want = append(want, l)
+			}
+		}
+		sort.Ints(want)
+		if len(want) > 0 {
+			fatalOwner(fmt.Sprintf(
+				"died permanently while acquiring lock %d; the token grant bound for it is lost", want[0]))
+			return nil, false
+		}
+	}
+
+	// Candidate locks, deterministically ordered: manager tables that
+	// record dead as owner, plus tokens materialized on dead itself
+	// (a lock dead only ever used locally has no table entry anywhere).
+	seen := make(map[int]bool)
+	var locks []int
+	for n := range s.Engines {
+		nb := s.engineBase(n)
+		for l, o := range nb.lockOwner {
+			if o == dead && s.lockMgrOf(l) == n && !seen[l] {
+				seen[l] = true
+				locks = append(locks, l)
+			}
+		}
+	}
+	for l, ls := range db.locks {
+		if ls.owner && !seen[l] {
+			seen[l] = true
+			locks = append(locks, l)
+		}
+	}
+	sort.Ints(locks)
+
+	revoked := make(map[int]bool)
+	absorbed := make(map[int]bool) // managers that already merged dead's knowledge
+	synthed := false               // dead's open interval closed on paper
+	for _, l := range locks {
+		mgr := s.lockMgrOf(l)
+		if mgr == dead {
+			continue // unpromoted dead manager's own locks (K=0, role unused)
+		}
+		mb := s.engineBase(mgr)
+		dls := db.locks[l]
+		if dls == nil || !dls.owner {
+			// The token is in flight towards dead (its own acquire):
+			// leave the chase alone, it lands after the restart.
+			continue
+		}
+		if dls.held {
+			if c.Permanent() {
+				fatalOwner(fmt.Sprintf("died holding lock %d inside a critical section", l))
+				return nil, false
+			}
+			// Transient: acquirers must wait for the restart anyway; pin
+			// the owner so new acquires keep chasing the restarting node.
+			if _, ok := mb.lockOwner[l]; !ok {
+				mb.mgrSetOwner(l, dead)
+			}
+			continue
+		}
+		// Free token: revoke it. The dead node re-acquires remotely
+		// after its restart, like any other node. The owner table's
+		// tail is only rewritten when it still points at the dead node:
+		// a younger live requester recorded there keeps the chain
+		// intact, and its severed forward reconnects as a chase.
+		dls.owner = false
+		if cur, ok := mb.lockOwner[l]; !ok || cur == dead {
+			mb.mgrSetOwner(l, mgr)
+		}
+		mls := mb.lockState(l)
+		mls.owner = true
+		mb.st().Counts.LocksReclaimed++
+		revoked[l] = true
+		if !synthed && !c.Permanent() {
+			// Writes made under the revoked token may still sit in
+			// dead's open interval: close it on paper so the notices
+			// travel with the token. (A permanent corpse never
+			// restarts to flush the data, so there is nothing to
+			// promise dependents.)
+			synthed = true
+			db.synthCloseOpen()
+		}
+		if !absorbed[mgr] {
+			absorbed[mgr] = true
+			mb.absorbFrom(db)
+		}
+	}
+	return revoked, true
+}
+
+// absorbFrom merges another engine's interval knowledge into this one,
+// exactly as a lock grant from that node would: unknown records are
+// logged, their write notices invalidate local copies, and the clock
+// advances. Event context; invalidation work is stolen from compute.
+func (b *base) absorbFrom(o *base) {
+	var cost sim.Time
+	for p := range o.log {
+		for _, r := range o.log[p] {
+			if r.Interval <= b.clock[r.Proc] || b.hasLogRec(r.Proc, r.Interval) {
+				continue
+			}
+			rec := *r
+			if b.sys.homeBased {
+				rec.VC = nil
+			}
+			rc := &rec
+			b.insertLog(rc)
+			if rec.Interval > b.clock[rec.Proc] {
+				b.clock[rec.Proc] = rec.Interval
+			}
+			for _, pg := range rec.Pages {
+				cost += b.co.noticePage(rc, int(pg))
+			}
+		}
+	}
+	b.clock.MaxWith(o.clock)
+	b.node.CPU.Steal(cost)
+}
+
+// redirectSyncTraffic withdraws unacknowledged synchronization requests
+// addressed to the dead node and re-sends them to the role's current
+// holder — the same timeout-resend shortcut rehomePages uses for
+// fetches and flushes. RecallPending returns them oldest-first, so the
+// genealogical order of the original sends is preserved.
+//
+// A forwarded acquire (kLockFwd) is the delicate case: it was addressed
+// to the dead node as a link in the token chase, and the owner table
+// records the chain's tail, not the token's location. If reclamation
+// revoked this lock's token, the forward reconnects to the reclaimed
+// token at the manager as a chase; otherwise the token is still bound
+// for (or pinned on) the dead node, and the forward is re-sent there —
+// retransmission delivers it after the restart, chain intact.
+func (s *System) redirectSyncTraffic(dead int, revoked map[int]bool) {
+	recalled := s.M.RecallPending(dead, func(m paragon.Msg) bool {
+		return m.Kind == kLockAcq || m.Kind == kLockFwd || m.Kind == kBarrier || m.Kind == kGCDone
+	})
+	for _, msg := range recalled {
+		var to int
+		switch body := msg.Body.(type) {
+		case *lockReq:
+			switch {
+			case msg.Kind == kLockFwd && revoked[body.Lock]:
+				msg.Kind = kLockAcq
+				body.Chase = true
+				to = s.lockMgrOf(body.Lock)
+			case msg.Kind == kLockFwd:
+				to = dead
+			default: // kLockAcq: the manager role moved
+				to = s.lockMgrOf(body.Lock)
+			}
+		default: // kBarrier, kGCDone
+			to = s.bmgrNode()
+		}
+		s.M.Nodes[msg.From].Send(to, msg)
+	}
+}

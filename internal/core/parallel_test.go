@@ -38,16 +38,23 @@ func matrixOpts(proto core.Protocol, procs int, profile string, workers int) cor
 		}
 		opts.Fault = plan
 	}
-	if profile == "crash" {
+	if crashProfile(profile) {
 		opts.Recovery = core.Recovery{Replicas: 1}
 	}
 	return opts
 }
 
-// protoFor filters the matrix: the crash profile needs the home-based
+// protoFor filters the matrix: the crash profiles need the home-based
 // recovery machinery, which only the HLRC family implements.
 func crashCompatible(proto core.Protocol) bool {
 	return proto == core.ProtoHLRC || proto == core.ProtoOHLRC
+}
+
+// crashProfile reports whether the fault profile schedules node crashes
+// (and so needs Recovery replicas): "crash" kills an ordinary node,
+// "crash-mgr" kills the barrier-manager node and then a lock manager.
+func crashProfile(profile string) bool {
+	return profile == "crash" || profile == "crash-mgr"
 }
 
 // TestDeterminismMatrix is the bitwise-determinism matrix of the parallel
@@ -56,14 +63,14 @@ func crashCompatible(proto core.Protocol) bool {
 // and result images. Fault profiles exercise the sequential-fallback
 // path, where identity across worker counts must hold trivially.
 func TestDeterminismMatrix(t *testing.T) {
-	profiles := []string{"none", "lossy", "hostile", "crash"}
+	profiles := []string{"none", "lossy", "hostile", "crash", "crash-mgr"}
 	mkApps := map[string]func() core.App{
 		"sor": func() core.App { return &apps.SOR{H: 48, W: 16, Iters: 2} },
 		"lu":  func() core.App { return &apps.LU{N: 64, B: 8} },
 	}
 	for _, proto := range core.Protocols {
 		for _, profile := range profiles {
-			if profile == "crash" && !crashCompatible(proto) {
+			if crashProfile(profile) && !crashCompatible(proto) {
 				continue
 			}
 			for name, mk := range mkApps {
@@ -95,10 +102,10 @@ func TestDeterminismMatrix(t *testing.T) {
 // same byte-identity bar across protocols, fault profiles, and worker
 // counts, on the serve stats report.
 func TestDeterminismMatrixServe(t *testing.T) {
-	profiles := []string{"none", "lossy", "hostile", "crash"}
+	profiles := []string{"none", "lossy", "hostile", "crash", "crash-mgr"}
 	for _, proto := range core.Protocols {
 		for _, profile := range profiles {
-			if profile == "crash" && !crashCompatible(proto) {
+			if crashProfile(profile) && !crashCompatible(proto) {
 				continue
 			}
 			proto, profile := proto, profile
@@ -139,11 +146,11 @@ func TestDeterminismMatrixServe(t *testing.T) {
 // must stay byte-identical across run-worker counts under every
 // protocol and fault profile.
 func TestDeterminismMatrixFastpath(t *testing.T) {
-	profiles := []string{"none", "lossy", "crash"}
+	profiles := []string{"none", "lossy", "crash", "crash-mgr"}
 	for _, mode := range []string{serve.ModeSeqlock, serve.ModeAll} {
 		for _, proto := range core.Protocols {
 			for _, profile := range profiles {
-				if profile == "crash" && !crashCompatible(proto) {
+				if crashProfile(profile) && !crashCompatible(proto) {
 					continue
 				}
 				mode, proto, profile := mode, proto, profile

@@ -23,9 +23,9 @@ import (
 // home-page copies, flush vectors, pending lists, and cached read-only
 // pages. Its private working state (dirty pages with their twins, the
 // vector clock, lock tokens) is assumed to survive, modeling an
-// application-transparent local checkpoint of the worker itself; what
-// this subsystem recovers is the *home* role, which is the state other
-// nodes depend on.
+// application-transparent local checkpoint of the worker itself. This
+// file recovers the *home* role; mgr.go fails over the lock- and
+// barrier-manager roles the same way, mirrored onto the same backups.
 
 // recovery is the per-run recovery configuration and state.
 type recovery struct {
@@ -181,11 +181,11 @@ func (s *System) startCkptTimers() {
 	}
 }
 
-// declareDead is the re-homing protocol: elect a survivor for every
-// page homed at dead, promote its mirror state to authoritative home
-// state, and redirect in-flight traffic. Idempotent; runs in event
-// context at the instant of declaration (the simulation shortcut for a
-// distributed agreement round).
+// declareDead runs the failure-declaration protocol: re-home the dead
+// node's pages, fail over any synchronization-manager roles it held,
+// reclaim stranded lock tokens, and redirect in-flight traffic.
+// Idempotent; runs in event context at the instant of declaration (the
+// simulation shortcut for a distributed agreement round).
 func (s *System) declareDead(dead, reporter int) {
 	r := s.rec
 	if r == nil || r.declared[dead] {
@@ -198,7 +198,17 @@ func (s *System) declareDead(dead, reporter int) {
 			s.M.Nodes[reporter].Stats.Detect = now - c.At
 		}
 	}
+	s.rehomePages(dead, now)
+	if s.fatal == nil {
+		s.failoverManagers(dead, now)
+	}
+}
 
+// rehomePages elects a survivor for every page homed at dead, promotes
+// its mirror state to authoritative home state, and redirects in-flight
+// fetches and flushes.
+func (s *System) rehomePages(dead int, now sim.Time) {
+	r := s.rec
 	var pages []int
 	for pg, h := range s.homes {
 		if h == dead {
@@ -206,7 +216,7 @@ func (s *System) declareDead(dead, reporter int) {
 		}
 	}
 	if len(pages) == 0 {
-		return // nothing depended on the dead node's volatile state
+		return // no page depended on the dead node's volatile state
 	}
 
 	succ := -1
@@ -223,6 +233,7 @@ func (s *System) declareDead(dead, reporter int) {
 			Node:     dead,
 			At:       c.At,
 			Restarts: !c.Permanent(),
+			Role:     "home",
 			Reason:   reason,
 		}
 		s.K.Stop()
@@ -243,8 +254,8 @@ func (s *System) declareDead(dead, reporter int) {
 
 	// Withdraw unacknowledged data-plane requests addressed to the dead
 	// node and re-send them to each page's new home (the requesters'
-	// timeout-resend). Synchronization traffic keeps retrying: lock and
-	// barrier roles are not failed over (see DESIGN.md).
+	// timeout-resend). Synchronization traffic is redirected separately
+	// once the manager roles have moved (failoverManagers, mgr.go).
 	recalled := s.M.RecallPending(dead, func(m paragon.Msg) bool {
 		return m.Kind == kFetchPage || m.Kind == kDiffFlush
 	})
@@ -300,6 +311,26 @@ func (s *System) rejoin(node int) {
 	}
 	e := s.Engines[node].(*hlrcEngine)
 	e.wipeVolatile()
+	// Lock reclamation may have closed this node's open interval on
+	// paper (synthCloseOpen) to hand out its write notices with the
+	// revoked token. Make the close real now: flush the surviving dirty
+	// pages to their current homes so fetches parked on those notices
+	// drain, instead of waiting for this node's next natural close.
+	if b := &e.base; b.synthClosed {
+		b.synthClosed = false
+		if len(b.dirty) > 0 {
+			e.node.CPU.Steal(b.co.closeCost())
+			b.co.closeCommit()
+		}
+	}
+	// A barrier release that completed on the promoted manager while
+	// this ex-manager was down is parked in its local-release slot;
+	// deliver it now that the app proc may run again.
+	if b := &e.base; b.bmgr != nil && b.bmgr.localRelease != nil && b.bmgr.localWait != nil {
+		w := b.bmgr.localWait
+		b.bmgr.localWait = nil
+		w.Unpark()
+	}
 	// Resync this node's replica mirrors from the current homes.
 	if r.k > 0 {
 		for h := range s.Engines {

@@ -99,6 +99,14 @@ type System struct {
 	fatal       error
 	liveWorkers atomic.Int32
 
+	// Synchronization-manager failover state (mgr.go). syncMgr maps each
+	// natural lock-manager slot (node id) to the node currently holding
+	// that role; nil means the identity mapping and is only materialized
+	// when a crash promotes a backup, so fault-free parallel runs read
+	// immutable state. bmNode is the current barrier-manager node.
+	syncMgr []int
+	bmNode  int
+
 	// traceLog, when non-nil, captures protocol events.
 	traceLog *trace.Log
 

@@ -29,10 +29,13 @@ const (
 	ProfileLossy   = "lossy"
 	ProfileHostile = "hostile"
 	ProfileCrash   = "crash"
+	// ProfileCrashMgr crashes synchronization-manager nodes (the barrier
+	// manager, then a lock manager) in successive windows.
+	ProfileCrashMgr = "crash-mgr"
 )
 
 // Profiles lists the built-in fault profiles.
-var Profiles = []string{ProfileNone, ProfileLossy, ProfileHostile, ProfileCrash}
+var Profiles = []string{ProfileNone, ProfileLossy, ProfileHostile, ProfileCrash, ProfileCrashMgr}
 
 // AnyNode matches any node in a Target.
 const AnyNode = -1
@@ -292,6 +295,19 @@ func Profile(name string, seed int64) (Plan, error) {
 			Seed: seed,
 			Crashes: []Crash{
 				{Node: 1, At: 5 * sim.Millisecond, RestartAt: 25 * sim.Millisecond},
+			},
+		}, nil
+	case ProfileCrashMgr:
+		// One synchronization manager dies per interval: first the
+		// barrier manager (node 0), then — after its promoted successor
+		// has taken over — node 1, the natural manager of lock 1 and the
+		// usual first backup. Exercises manager failover and chained
+		// promotions; requires Recovery.Replicas >= 1.
+		return Plan{
+			Seed: seed,
+			Crashes: []Crash{
+				{Node: 0, At: 5 * sim.Millisecond, RestartAt: 25 * sim.Millisecond},
+				{Node: 1, At: 30 * sim.Millisecond, RestartAt: 50 * sim.Millisecond},
 			},
 		}, nil
 	}

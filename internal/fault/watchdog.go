@@ -45,14 +45,21 @@ type NodeDeadError struct {
 	Node     int
 	At       sim.Time // when the node crashed
 	Restarts bool     // whether the crash schedule ever revives it
-	Reason   string
-	Err      error
+	// Role names the unrecoverable role the node held, when known:
+	// "home", "lock manager", "barrier manager", or "lock owner".
+	Role   string
+	Reason string
+	Err    error
 }
 
 func (e *NodeDeadError) Unwrap() error { return e.Err }
 
 func (e *NodeDeadError) Error() string {
-	s := fmt.Sprintf("node %d crashed at %v and its state is unrecoverable", e.Node, e.At)
+	who := fmt.Sprintf("node %d", e.Node)
+	if e.Role != "" {
+		who += " (" + e.Role + ")"
+	}
+	s := fmt.Sprintf("%s crashed at %v and its state is unrecoverable", who, e.At)
 	if e.Reason != "" {
 		s += ": " + e.Reason
 	}

@@ -24,6 +24,8 @@ func countsMap(c Counters) map[string]int64 {
 		"msgs_dropped":    c.MsgsDropped,
 		"link_drops":      c.LinkDrops,
 		"pages_rehomed":   c.PagesRehomed,
+		"mgrs_rehomed":    c.MgrsRehomed,
+		"locks_reclaimed": c.LocksReclaimed,
 	}
 }
 
@@ -36,6 +38,7 @@ type jsonNode struct {
 	AppMem       int64            `json:"app_mem"`
 	RecoveryNs   int64            `json:"recovery_ns"`
 	ReplicaBytes int64            `json:"replica_bytes"`
+	MirrorBytes  int64            `json:"mirror_bytes"`
 	DetectNs     int64            `json:"detect_ns"`
 }
 
@@ -49,6 +52,7 @@ func nodeJSON(n *Node) jsonNode {
 		AppMem:       n.AppMem,
 		RecoveryNs:   int64(n.Recovery),
 		ReplicaBytes: n.ReplicaBytes,
+		MirrorBytes:  n.MirrorBytes,
 		DetectNs:     int64(n.Detect),
 	}
 	for c := Category(0); c < NumCategories; c++ {
@@ -77,7 +81,9 @@ func (r *Run) MarshalJSON() ([]byte, error) {
 		PeakProtoMem  int64       `json:"peak_proto_mem"`
 		TotalAppMem   int64       `json:"total_app_mem"`
 		PagesRehomed  int64       `json:"pages_rehomed,omitempty"`
+		MgrsRehomed   int64       `json:"mgrs_rehomed,omitempty"`
 		ReplicaBytes  int64       `json:"replica_bytes,omitempty"`
+		MirrorBytes   int64       `json:"mirror_bytes,omitempty"`
 		DetectNs      int64       `json:"detect_ns,omitempty"`
 		Serve         *ServeStats `json:"serve,omitempty"`
 		Nodes         []jsonNode  `json:"nodes"`
@@ -97,7 +103,9 @@ func (r *Run) MarshalJSON() ([]byte, error) {
 	}
 	for _, nd := range r.Nodes {
 		out.PagesRehomed += nd.Counts.PagesRehomed
+		out.MgrsRehomed += nd.Counts.MgrsRehomed
 		out.ReplicaBytes += nd.ReplicaBytes
+		out.MirrorBytes += nd.MirrorBytes
 		if int64(nd.Detect) > out.DetectNs {
 			out.DetectNs = int64(nd.Detect)
 		}

@@ -79,6 +79,14 @@ type Counters struct {
 	// PagesRehomed counts pages this node adopted as their new home
 	// after the previous home crashed. Zero without crash recovery.
 	PagesRehomed int64
+	// MgrsRehomed counts synchronization-manager roles (lock-manager
+	// slots, the barrier manager) this node adopted after the previous
+	// holder crashed. Zero without crash recovery.
+	MgrsRehomed int64
+	// LocksReclaimed counts free lock tokens a manager revoked from a
+	// crashed owner so waiting acquirers could proceed at detection time
+	// instead of waiting out the outage.
+	LocksReclaimed int64
 }
 
 // Node accumulates statistics for one simulated node.
@@ -111,6 +119,10 @@ type Node struct {
 	// ReplicaBytes counts home-state replication traffic sent by this
 	// node (mirrored diffs, checkpoint pages). Zero without recovery.
 	ReplicaBytes int64
+	// MirrorBytes counts synchronization-manager replication traffic
+	// sent by this node (lock-owner updates, barrier arrivals mirrored
+	// to manager backups). Zero without recovery.
+	MirrorBytes int64
 	// Detect is the failure-detection latency observed by this node:
 	// crash time to the moment this node declared the victim dead. Zero
 	// unless this node was the reporter.
@@ -177,6 +189,8 @@ func (n Node) Sub(o Node) Node {
 		MsgsDropped:    n.Counts.MsgsDropped - o.Counts.MsgsDropped,
 		LinkDrops:      n.Counts.LinkDrops - o.Counts.LinkDrops,
 		PagesRehomed:   n.Counts.PagesRehomed - o.Counts.PagesRehomed,
+		MgrsRehomed:    n.Counts.MgrsRehomed - o.Counts.MgrsRehomed,
+		LocksReclaimed: n.Counts.LocksReclaimed - o.Counts.LocksReclaimed,
 	}
 	for i := range n.MsgsOut {
 		d.MsgsOut[i] = n.MsgsOut[i] - o.MsgsOut[i]
@@ -188,6 +202,7 @@ func (n Node) Sub(o Node) Node {
 	d.AppMem = n.AppMem
 	d.Recovery = n.Recovery - o.Recovery
 	d.ReplicaBytes = n.ReplicaBytes - o.ReplicaBytes
+	d.MirrorBytes = n.MirrorBytes - o.MirrorBytes
 	d.Detect = n.Detect
 	return d
 }
@@ -248,6 +263,8 @@ func (r *Run) AvgNode() Node {
 		sum.Counts.MsgsDropped += nd.Counts.MsgsDropped
 		sum.Counts.LinkDrops += nd.Counts.LinkDrops
 		sum.Counts.PagesRehomed += nd.Counts.PagesRehomed
+		sum.Counts.MgrsRehomed += nd.Counts.MgrsRehomed
+		sum.Counts.LocksReclaimed += nd.Counts.LocksReclaimed
 		for i := range sum.MsgsOut {
 			sum.MsgsOut[i] += nd.MsgsOut[i]
 			sum.Bytes[i] += nd.Bytes[i]
@@ -257,6 +274,7 @@ func (r *Run) AvgNode() Node {
 		sum.AppMem += nd.AppMem
 		sum.Recovery += nd.Recovery
 		sum.ReplicaBytes += nd.ReplicaBytes
+		sum.MirrorBytes += nd.MirrorBytes
 		if nd.Detect > sum.Detect {
 			sum.Detect = nd.Detect
 		}
@@ -279,6 +297,8 @@ func (r *Run) AvgNode() Node {
 	avg.Counts.MsgsDropped = sum.Counts.MsgsDropped / n
 	avg.Counts.LinkDrops = sum.Counts.LinkDrops / n
 	avg.Counts.PagesRehomed = sum.Counts.PagesRehomed / n
+	avg.Counts.MgrsRehomed = sum.Counts.MgrsRehomed / n
+	avg.Counts.LocksReclaimed = sum.Counts.LocksReclaimed / n
 	for i := range avg.MsgsOut {
 		avg.MsgsOut[i] = sum.MsgsOut[i] / n
 		avg.Bytes[i] = sum.Bytes[i] / n
@@ -288,6 +308,7 @@ func (r *Run) AvgNode() Node {
 	avg.AppMem = sum.AppMem / n
 	avg.Recovery = sum.Recovery / sim.Time(n)
 	avg.ReplicaBytes = sum.ReplicaBytes / n
+	avg.MirrorBytes = sum.MirrorBytes / n
 	avg.Detect = sum.Detect // max, not mean: the run's detection latency
 	return avg
 }
